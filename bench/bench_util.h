@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses: aligned
+ * table printing and the standard phase lengths used across benches.
+ */
+#ifndef CATNAP_BENCH_BENCH_UTIL_H
+#define CATNAP_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace catnap::bench {
+
+/** Standard phases for synthetic sweeps (kept short; shapes converge). */
+inline RunParams
+sweep_params()
+{
+    RunParams rp;
+    rp.warmup = 1500;
+    rp.measure = 5000;
+    rp.drain_max = 6000;
+    return rp;
+}
+
+/** Offered-load grid used by the latency-vs-load figures. */
+inline std::vector<double>
+load_grid()
+{
+    return {0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45};
+}
+
+/** Prints a section header. */
+inline void
+header(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/** Prints a "shape check" note comparing against the paper's value. */
+inline void
+paper_note(const std::string &what, double measured, double paper)
+{
+    std::printf("  [paper] %-46s measured %8.2f vs paper %8.2f\n",
+                what.c_str(), measured, paper);
+}
+
+} // namespace catnap::bench
+
+#endif // CATNAP_BENCH_BENCH_UTIL_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 2: normalized performance of a 256-core processor with a
+ * 128-bit vs 512-bit Single-NoC, for the Light and Heavy workloads.
+ *
+ * Paper shape: the under-provisioned 128-bit network costs Heavy ~41%
+ * of its performance while Light is nearly unaffected, establishing the
+ * need to sustain today's 8 GB/s per-core bandwidth.
+ */
+#include <cstdio>
+
+#include "app/system.h"
+#include "bench/bench_util.h"
+
+using namespace catnap;
+
+int
+main()
+{
+    bench::header("Figure 2: per-core bandwidth need (normalized perf)");
+
+    AppRunParams ap;
+    ap.warmup = 2000;
+    ap.measure = 10000;
+
+    std::printf("%-14s %18s %18s %12s\n", "workload", "128b-Single-NoC",
+                "512b-Single-NoC", "128b/512b");
+    double heavy_ratio = 0.0, light_ratio = 0.0;
+    for (const auto &mix : {light_mix(), heavy_mix()}) {
+        const auto r128 =
+            run_app_workload(single_noc_config(128), mix, ap);
+        const auto r512 =
+            run_app_workload(single_noc_config(512), mix, ap);
+        const double ratio = r128.ipc / r512.ipc;
+        std::printf("%-14s %18.3f %18.3f %12.3f\n", mix.name.c_str(),
+                    ratio, 1.0, ratio);
+        if (mix.name == "Heavy")
+            heavy_ratio = ratio;
+        else
+            light_ratio = ratio;
+    }
+    bench::paper_note("Heavy loss on 128b network (%)",
+                      100.0 * (1.0 - heavy_ratio), 41.0);
+    bench::paper_note("Light loss on 128b network (%)",
+                      100.0 * (1.0 - light_ratio), 2.0);
+    return 0;
+}

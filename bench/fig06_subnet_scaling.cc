@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 6: throughput and latency of Single-NoC vs Multi-NoC designs
+ * with 1/2/4/8 subnets over a constant 512-bit aggregate datapath,
+ * uniform-random 512-bit packets, round-robin subnet selection, no
+ * power gating (the Section 5.1 characterization).
+ *
+ * Paper shape: four subnets match Single-NoC throughput; eight lose
+ * some; low-load latency rises a few cycles per doubling of subnets
+ * (serialization latency).
+ */
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace catnap;
+
+int
+main()
+{
+    bench::header("Figure 6a: saturation throughput vs subnet count");
+
+    const RunParams rp = bench::sweep_params();
+    SyntheticConfig traffic; // uniform random, 512-bit packets
+
+    std::vector<MultiNocConfig> cfgs;
+    for (int subnets : {1, 2, 4, 8}) {
+        cfgs.push_back(multi_noc_config(subnets, GatingKind::kAlwaysOn,
+                                        SelectorKind::kRoundRobin));
+    }
+
+    std::printf("%-10s %26s\n", "design",
+                "saturation throughput (pkts/node/cycle)");
+    double thr1 = 0.0, thr4 = 0.0;
+    for (const auto &cfg : cfgs) {
+        traffic.load = 0.45; // beyond saturation for every design
+        const auto r = run_synthetic(cfg, traffic, rp);
+        std::printf("%-10s %26.3f\n", cfg.label().c_str(),
+                    r.accepted_rate);
+        if (cfg.num_subnets == 1)
+            thr1 = r.accepted_rate;
+        if (cfg.num_subnets == 4)
+            thr4 = r.accepted_rate;
+    }
+    bench::paper_note("4NT/1NT saturation throughput ratio", thr4 / thr1,
+                      1.0);
+
+    bench::header("Figure 6b: average packet latency vs offered load");
+    std::printf("%-8s", "load");
+    for (const auto &cfg : cfgs)
+        std::printf(" %10s", cfg.label().c_str());
+    std::printf("\n");
+    for (double load : bench::load_grid()) {
+        std::printf("%-8.2f", load);
+        for (const auto &cfg : cfgs) {
+            traffic.load = load;
+            const auto r = run_synthetic(cfg, traffic, rp);
+            std::printf(" %10.1f", r.avg_latency);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 13: the injection-rate (IR) congestion policy with thresholds
+ * 0.04 .. 0.24 packets/node/cycle, for uniform random and transpose
+ * traffic (no power gating; Section 6.4).
+ *
+ * Paper shape: for uniform random a threshold as high as 0.20 works,
+ * but transpose saturates much earlier, so it needs <= 0.08 — there is
+ * no single IR threshold that both preserves performance and exposes
+ * gating opportunity, which is why BFM wins.
+ */
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace catnap;
+
+int
+main()
+{
+    bench::header("Figure 13: IR subnet-selection policy threshold sweep "
+                  "(4NT-128b, no PG)");
+
+    RunParams rp = bench::sweep_params();
+    rp.measure = 4000;
+
+    const std::vector<double> thresholds = {0.04, 0.08, 0.12,
+                                            0.16, 0.20, 0.24};
+    const std::vector<double> loads = {0.05, 0.10, 0.15, 0.20, 0.25,
+                                       0.30, 0.40, 0.50};
+
+    for (const PatternKind pattern :
+         {PatternKind::kUniformRandom, PatternKind::kTranspose}) {
+        std::printf("\n-- avg packet latency (cycles), %s --\n%-8s",
+                    pattern_kind_name(pattern), "load");
+        for (double t : thresholds)
+            std::printf("   IR-%4.2f", t);
+        std::printf("\n");
+        for (double load : loads) {
+            std::printf("%-8.2f", load);
+            for (double t : thresholds) {
+                MultiNocConfig cfg = multi_noc_config(
+                    4, GatingKind::kAlwaysOn, SelectorKind::kCatnap);
+                cfg.congestion.metric = CongestionMetric::kInjectionRate;
+                cfg.congestion.threshold = t;
+                SyntheticConfig traffic;
+                traffic.pattern = pattern;
+                traffic.load = load;
+                const auto r = run_synthetic(cfg, traffic, rp);
+                std::printf(" %9.1f", r.avg_latency);
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("\nNote: low IR thresholds divert packets to higher-order"
+                " subnets early (hurting gating opportunity); high ones"
+                " overload lower subnets on adversarial patterns.\n");
+    return 0;
+}

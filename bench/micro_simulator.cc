@@ -1,0 +1,91 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator itself: cycles per
+ * second for the main configurations, router allocation hot paths, and
+ * the congestion detector. These guard the engineering quality of the
+ * simulator rather than reproducing a paper figure.
+ */
+#include <benchmark/benchmark.h>
+
+#include "app/system.h"
+#include "noc/multinoc.h"
+#include "traffic/synthetic.h"
+
+namespace catnap {
+namespace {
+
+void
+BM_IdleNetworkTick(benchmark::State &state)
+{
+    MultiNoc net(multi_noc_config(static_cast<int>(state.range(0))));
+    for (auto _ : state)
+        net.tick();
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IdleNetworkTick)->Arg(1)->Arg(4);
+
+void
+BM_GatedIdleNetworkTick(benchmark::State &state)
+{
+    MultiNoc net(multi_noc_config(4, GatingKind::kCatnap));
+    net.run(100); // reach steady gated state
+    for (auto _ : state)
+        net.tick();
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GatedIdleNetworkTick);
+
+void
+BM_LoadedNetworkTick(benchmark::State &state)
+{
+    MultiNoc net(multi_noc_config(4));
+    SyntheticConfig traffic;
+    traffic.load = static_cast<double>(state.range(0)) / 100.0;
+    SyntheticTraffic gen(&net, traffic, 5);
+    for (Cycle c = 0; c < 500; ++c) {
+        gen.step(net.now());
+        net.tick();
+    }
+    for (auto _ : state) {
+        gen.step(net.now());
+        net.tick();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LoadedNetworkTick)->Arg(5)->Arg(20)->Arg(40);
+
+void
+BM_CmpSystemTick(benchmark::State &state)
+{
+    CmpSystem sys(multi_noc_config(4, GatingKind::kCatnap),
+                  medium_light_mix());
+    sys.run(500);
+    for (auto _ : state)
+        sys.tick();
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CmpSystemTick);
+
+void
+BM_SingleNocSaturated(benchmark::State &state)
+{
+    MultiNoc net(single_noc_config(512));
+    SyntheticConfig traffic;
+    traffic.load = 0.45;
+    SyntheticTraffic gen(&net, traffic, 5);
+    for (Cycle c = 0; c < 500; ++c) {
+        gen.step(net.now());
+        net.tick();
+    }
+    for (auto _ : state) {
+        gen.step(net.now());
+        net.tick();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SingleNocSaturated);
+
+} // namespace
+} // namespace catnap
+
+BENCHMARK_MAIN();

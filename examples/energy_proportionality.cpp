@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Energy proportionality demo: the paper's thesis is that a Multi-NoC
+ * with Catnap gating consumes power *proportional to network demand*,
+ * while a Single-NoC pays a high leakage floor regardless of load.
+ *
+ * This example sweeps offered load and prints power alongside an ASCII
+ * bar per design, plus the "proportionality gap": power at near-idle as
+ * a fraction of power at high load (1.0 would be a pure leakage brick,
+ * lower is more proportional).
+ */
+#include <cstdio>
+#include <string>
+
+#include "sim/simulator.h"
+
+using namespace catnap;
+
+namespace {
+
+std::string
+bar(double watts, double per_char = 1.5)
+{
+    return std::string(static_cast<std::size_t>(watts / per_char), '#');
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<std::pair<const char *, MultiNocConfig>> designs = {
+        {"1NT-512b     ", single_noc_config(512)},
+        {"1NT-512b-PG  ", single_noc_config(512, GatingKind::kIdle)},
+        {"4NT-128b-PG  ", multi_noc_config(4, GatingKind::kCatnap)},
+    };
+
+    RunParams phases;
+    phases.measure = 6000;
+    SyntheticConfig traffic;
+
+    std::printf("Network power vs offered load (uniform random)\n");
+    std::printf("each '#' is 1.5 W\n\n");
+
+    std::vector<double> idle_power(designs.size());
+    std::vector<double> busy_power(designs.size());
+    for (double load : {0.005, 0.05, 0.15, 0.30}) {
+        std::printf("-- load %.3f packets/node/cycle --\n", load);
+        for (std::size_t d = 0; d < designs.size(); ++d) {
+            traffic.load = load;
+            const auto r = run_synthetic(designs[d].second, traffic,
+                                         phases);
+            std::printf("  %s %6.1f W  %s\n", designs[d].first,
+                        r.power.total(), bar(r.power.total()).c_str());
+            if (load == 0.005)
+                idle_power[d] = r.power.total();
+            if (load == 0.30)
+                busy_power[d] = r.power.total();
+        }
+    }
+
+    std::printf("\nProportionality gap (near-idle power / busy power, "
+                "lower is better):\n");
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+        std::printf("  %s %.2f\n", designs[d].first,
+                    idle_power[d] / busy_power[d]);
+    }
+    std::printf("\nThe Catnap Multi-NoC approaches energy-proportional "
+                "operation: its near-idle power is dominated by one "
+                "always-on subnet instead of the whole network.\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Policy playground: shows how to assemble custom Catnap configurations
+ * — selector kind, gating kind, congestion metric, thresholds, RCS
+ * on/off — and compares them side by side on one workload point.
+ *
+ * Use this as a template for exploring the design space beyond the
+ * paper's configurations (e.g. different BFM thresholds or region
+ * sizes).
+ */
+#include <cstdio>
+
+#include "sim/simulator.h"
+
+using namespace catnap;
+
+namespace {
+
+MultiNocConfig
+custom(SelectorKind sel, GatingKind gate, CongestionMetric metric,
+       double threshold, bool use_rcs, int region_width = 4)
+{
+    MultiNocConfig cfg = multi_noc_config(4, gate, sel);
+    cfg.congestion.metric = metric;
+    cfg.congestion.threshold = threshold;
+    cfg.congestion.use_rcs = use_rcs;
+    cfg.region_width = region_width;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    RunParams phases;
+    phases.measure = 6000;
+    SyntheticConfig traffic;
+    traffic.pattern = PatternKind::kTranspose; // adversarial pattern
+    traffic.load = 0.10;
+
+    struct Entry
+    {
+        const char *name;
+        MultiNocConfig cfg;
+    };
+    const std::vector<Entry> entries = {
+        {"RR + idle gating (baseline)",
+         multi_noc_config(4, GatingKind::kIdle, SelectorKind::kRoundRobin)},
+        {"Catnap, BFM thr 9, RCS (paper)",
+         custom(SelectorKind::kCatnap, GatingKind::kCatnap,
+                CongestionMetric::kBufferMax, 9.0, true)},
+        {"Catnap, BFM thr 5 (eager spill)",
+         custom(SelectorKind::kCatnap, GatingKind::kCatnap,
+                CongestionMetric::kBufferMax, 5.0, true)},
+        {"Catnap, BFM thr 13 (lazy spill)",
+         custom(SelectorKind::kCatnap, GatingKind::kCatnap,
+                CongestionMetric::kBufferMax, 13.0, true)},
+        {"Catnap, BFM local only (no OR net)",
+         custom(SelectorKind::kCatnap, GatingKind::kCatnap,
+                CongestionMetric::kBufferMax, 9.0, false)},
+        {"Catnap, 2x2 regions (finer RCS)",
+         custom(SelectorKind::kCatnap, GatingKind::kCatnap,
+                CongestionMetric::kBufferMax, 9.0, true, 2)},
+        {"Catnap, 8x8 region (global OR)",
+         custom(SelectorKind::kCatnap, GatingKind::kCatnap,
+                CongestionMetric::kBufferMax, 9.0, true, 8)},
+    };
+
+    std::printf("transpose traffic @ %.2f packets/node/cycle\n\n",
+                traffic.load);
+    std::printf("%-38s %10s %10s %8s %9s\n", "configuration", "latency",
+                "power(W)", "CSC(%)", "accepted");
+    for (const auto &e : entries) {
+        const auto r = run_synthetic(e.cfg, traffic, phases);
+        std::printf("%-38s %10.1f %10.1f %8.1f %9.3f\n", e.name,
+                    r.avg_latency, r.power.total(), r.csc_percent,
+                    r.accepted_rate);
+    }
+
+    std::printf("\nThings to notice:\n"
+                "  - the baseline RR selector spreads traffic, so gating"
+                " saves little;\n"
+                "  - a too-eager threshold opens subnets early (power"
+                " up, latency down);\n"
+                "  - a too-lazy threshold risks latency spikes on"
+                " adversarial patterns;\n"
+                "  - RCS (the 1-bit OR network) matters most for"
+                " non-uniform traffic.\n");
+    return 0;
+}

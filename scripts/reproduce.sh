@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Reproduce every experiment: build, run the test suite, then regenerate
+# every table/figure/ablation/extension into results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p results
+ctest --test-dir build 2>&1 | tee results/test_output.txt
+
+{
+  for b in build/bench/*; do
+    echo "== $b =="
+    "$b"
+    echo
+  done
+} 2>&1 | tee results/bench_output.txt
+
+echo "Done. See results/test_output.txt and results/bench_output.txt."

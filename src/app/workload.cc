@@ -1,0 +1,181 @@
+#include "app/workload.h"
+
+#include <unordered_map>
+
+#include "common/log.h"
+
+namespace catnap {
+
+namespace {
+
+/**
+ * Per-benchmark profiles. MPKIs are synthesized so the instance-weighted
+ * averages of the four Table 3 mixes equal the paper's reported values
+ * (3.9 / 7.8 / 11.7 / 39.0); memory-bound codes (mcf, tpcw, astar, ...)
+ * get low MLP and long memory phases, compute-bound codes (gromacs,
+ * sjeng, ...) the opposite.
+ */
+std::vector<BenchmarkProfile>
+build_profiles()
+{
+    //                 name        mpki  mlp  mem   phase    quiet  quiet
+    //                                         frac  cycles   ratio  frac
+    return {
+        {"applu",      5.0,  3, 0.45, 6000.0, 0.30, 0.45},
+        {"gromacs",    2.0,  2, 0.30, 4000.0, 0.30, 0.60},
+        {"deal",       4.0,  2, 0.35, 4000.0, 0.25, 0.50},
+        {"hmmer",      3.0,  2, 0.25, 3000.0, 0.35, 0.55},
+        {"calculix",   4.5,  2, 0.35, 5000.0, 0.25, 0.50},
+        {"gcc",        5.0,  2, 0.40, 3500.0, 0.20, 0.50},
+        {"sjeng",      2.5,  2, 0.30, 3000.0, 0.35, 0.60},
+        {"wrf",        5.2,  3, 0.45, 6000.0, 0.25, 0.45},
+        {"gobmk",     11.0,  4, 0.40, 3500.0, 0.25, 0.45},
+        {"h264ref",   10.7,  5, 0.35, 3000.0, 0.30, 0.45},
+        {"sphinx",    20.0,  5, 0.50, 5000.0, 0.20, 0.40},
+        {"cactus",    30.0,  6, 0.55, 7000.0, 0.20, 0.35},
+        {"namd",      12.6,  5, 0.35, 4000.0, 0.25, 0.45},
+        {"sjas",      35.0,  6, 0.55, 5000.0, 0.15, 0.30},
+        {"astar",     55.0,  4, 0.60, 6000.0, 0.15, 0.25},
+        {"mcf",       95.0,  4, 0.70, 8000.0, 0.10, 0.20},
+        {"tonto",     30.0,  5, 0.50, 5000.0, 0.20, 0.35},
+        {"tpcw",      70.0,  5, 0.65, 6000.0, 0.10, 0.25},
+        // Remaining applications of the paper's 35-app pool, usable for
+        // custom mixes and the examples.
+        {"barnes",     6.0,  5, 0.35, 4000.0, 0.30, 0.50},
+        {"ocean",     25.0,  7, 0.55, 6000.0, 0.20, 0.35},
+        {"radix",     30.0,  8, 0.60, 5000.0, 0.15, 0.30},
+        {"fft",       22.0,  7, 0.55, 4000.0, 0.20, 0.35},
+        {"lu",        12.0,  6, 0.45, 5000.0, 0.25, 0.40},
+        {"cholesky",  10.0,  5, 0.40, 4500.0, 0.25, 0.45},
+        {"raytrace",   8.0,  4, 0.35, 4000.0, 0.30, 0.50},
+        {"water",      4.0,  4, 0.30, 4000.0, 0.35, 0.55},
+        {"swim",      28.0,  7, 0.60, 7000.0, 0.15, 0.30},
+        {"mgrid",     14.0,  6, 0.45, 6000.0, 0.25, 0.40},
+        {"equake",    18.0,  5, 0.50, 5000.0, 0.20, 0.40},
+        {"art",       40.0,  6, 0.60, 6000.0, 0.15, 0.25},
+        {"ammp",       9.0,  5, 0.40, 4500.0, 0.25, 0.45},
+        {"apsi",       7.0,  5, 0.35, 4000.0, 0.30, 0.50},
+        {"sap",       26.0,  5, 0.55, 5000.0, 0.15, 0.35},
+        {"sjbb",      24.0,  5, 0.55, 5000.0, 0.15, 0.35},
+        {"milc",      16.0,  6, 0.50, 5500.0, 0.20, 0.40},
+    };
+}
+
+const std::vector<BenchmarkProfile> &
+profiles()
+{
+    static const std::vector<BenchmarkProfile> p = build_profiles();
+    return p;
+}
+
+WorkloadMix
+make_mix(const std::string &name, const std::vector<std::string> &apps,
+         int cores)
+{
+    CATNAP_ASSERT(!apps.empty(), "empty mix");
+    CATNAP_ASSERT(cores % static_cast<int>(apps.size()) == 0,
+                  "cores must divide evenly across ", apps.size(),
+                  " applications");
+    WorkloadMix mix;
+    mix.name = name;
+    const int per = cores / static_cast<int>(apps.size());
+    for (const auto &app : apps)
+        mix.entries.push_back({benchmark_profile(app), per});
+    return mix;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+all_benchmark_profiles()
+{
+    return profiles();
+}
+
+const BenchmarkProfile &
+benchmark_profile(const std::string &name)
+{
+    for (const auto &p : profiles())
+        if (p.name == name)
+            return p;
+    CATNAP_FATAL("unknown benchmark profile: ", name);
+}
+
+int
+WorkloadMix::total_instances() const
+{
+    int total = 0;
+    for (const auto &e : entries)
+        total += e.instances;
+    return total;
+}
+
+double
+WorkloadMix::average_mpki() const
+{
+    double sum = 0.0;
+    for (const auto &e : entries)
+        sum += e.profile.mpki * e.instances;
+    return sum / total_instances();
+}
+
+const BenchmarkProfile &
+WorkloadMix::profile_for(int core) const
+{
+    int offset = core;
+    for (const auto &e : entries) {
+        if (offset < e.instances)
+            return e.profile;
+        offset -= e.instances;
+    }
+    CATNAP_PANIC("core index ", core, " beyond mix of ", total_instances());
+}
+
+WorkloadMix
+light_mix(int cores)
+{
+    // Table 3, row 1.
+    return make_mix("Light",
+                    {"applu", "gromacs", "deal", "hmmer", "calculix", "gcc",
+                     "sjeng", "wrf"},
+                    cores);
+}
+
+WorkloadMix
+medium_light_mix(int cores)
+{
+    // Table 3, row 2.
+    return make_mix("Medium-Light",
+                    {"gromacs", "deal", "gobmk", "wrf", "h264ref", "sphinx",
+                     "applu", "calculix"},
+                    cores);
+}
+
+WorkloadMix
+medium_heavy_mix(int cores)
+{
+    // Table 3, row 3.
+    return make_mix("Medium-Heavy",
+                    {"cactus", "deal", "calculix", "hmmer", "namd", "sjas",
+                     "gromacs", "sjeng"},
+                    cores);
+}
+
+WorkloadMix
+heavy_mix(int cores)
+{
+    // Table 3, row 4.
+    return make_mix("Heavy",
+                    {"sjas", "astar", "mcf", "sphinx", "tonto", "tpcw",
+                     "deal", "hmmer"},
+                    cores);
+}
+
+std::vector<WorkloadMix>
+table3_mixes(int cores)
+{
+    return {light_mix(cores), medium_light_mix(cores),
+            medium_heavy_mix(cores), heavy_mix(cores)};
+}
+
+} // namespace catnap

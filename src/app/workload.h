@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Application workload substrate: benchmark profiles and the four
+ * multiprogrammed mixes of Table 3.
+ *
+ * The paper drove its simulator with Pin-collected traces of 35
+ * SPEC CPU2006 / SPLASH-2 / SpecOMP / commercial applications. Those
+ * traces are proprietary; as DESIGN.md documents, we substitute
+ * MPKI-parameterized synthetic cores whose memory-demand statistics
+ * reproduce Table 3. Per-benchmark MPKIs are synthesized so each mix's
+ * average matches the paper's last column exactly (Light 3.9,
+ * Medium-Light 7.8, Medium-Heavy 11.7, Heavy 39.0); profiles also carry
+ * memory-level parallelism, L2-miss fraction, and phase behaviour to
+ * reproduce the bursty traffic the paper relies on [10, 22].
+ */
+#ifndef CATNAP_APP_WORKLOAD_H
+#define CATNAP_APP_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+namespace catnap {
+
+/** Statistical model of one benchmark's memory behaviour. */
+struct BenchmarkProfile
+{
+    std::string name;
+
+    /**
+     * Network requests (L1 + L2 misses) per kilo-instruction, averaged
+     * across phases.
+     */
+    double mpki = 5.0;
+
+    /**
+     * Maximum outstanding misses a core sustains (memory-level
+     * parallelism). Lower values make the core more latency sensitive.
+     * Bounded above by the 32 MSHRs of Table 1.
+     */
+    int mlp = 4;
+
+    /** Fraction of requests that also pay the off-chip memory path. */
+    double mem_fraction = 0.4;
+
+    /**
+     * Phase behaviour: mean length of one phase in cycles and the MPKI
+     * ratio of the compute (quiet) phase relative to the average. The
+     * memory (busy) phase MPKI is derived so the long-run mean is mpki.
+     */
+    double phase_len_cycles = 4000.0;
+    double quiet_ratio = 0.25;
+    /** Fraction of time spent in the quiet phase. */
+    double quiet_fraction = 0.5;
+};
+
+/** One slot of a multiprogrammed mix: a profile and its instance count. */
+struct MixEntry
+{
+    BenchmarkProfile profile;
+    int instances = 32;
+};
+
+/** A multiprogrammed workload (one row of Table 3). */
+struct WorkloadMix
+{
+    std::string name;
+    std::vector<MixEntry> entries;
+
+    /** Total core instances in the mix. */
+    int total_instances() const;
+
+    /** Instance-weighted average MPKI (Table 3's last column). */
+    double average_mpki() const;
+
+    /** Profile assigned to core @p core (instances laid out in order). */
+    const BenchmarkProfile &profile_for(int core) const;
+};
+
+/** Looks up a named benchmark profile ("mcf", "gromacs", ...). */
+const BenchmarkProfile &benchmark_profile(const std::string &name);
+
+/** All benchmark profiles known to the substrate. */
+const std::vector<BenchmarkProfile> &all_benchmark_profiles();
+
+/** Table 3's Light mix (avg MPKI 3.9). */
+WorkloadMix light_mix(int cores = 256);
+
+/** Table 3's Medium-Light mix (avg MPKI 7.8). */
+WorkloadMix medium_light_mix(int cores = 256);
+
+/** Table 3's Medium-Heavy mix (avg MPKI 11.7). */
+WorkloadMix medium_heavy_mix(int cores = 256);
+
+/** Table 3's Heavy mix (avg MPKI 39.0). */
+WorkloadMix heavy_mix(int cores = 256);
+
+/** The four mixes of Table 3 in order. */
+std::vector<WorkloadMix> table3_mixes(int cores = 256);
+
+} // namespace catnap
+
+#endif // CATNAP_APP_WORKLOAD_H

@@ -1,0 +1,135 @@
+#include "catnap/gating.h"
+
+#include "catnap/congestion.h"
+#include "common/log.h"
+#include "noc/router.h"
+#include "topology/topology.h"
+
+namespace catnap {
+
+const char *
+gating_kind_name(GatingKind k)
+{
+    switch (k) {
+      case GatingKind::kAlwaysOn: return "AlwaysOn";
+      case GatingKind::kIdle:     return "IdleGate";
+      case GatingKind::kCatnap:   return "CatnapGate";
+      case GatingKind::kFinePort: return "FinePortGate";
+    }
+    return "?";
+}
+
+void
+GatingPolicy::service_wake_requests(Cycle now)
+{
+    for (auto &subnet : routers_) {
+        for (Router *r : subnet) {
+            if (r->wake_requested()) {
+                r->begin_wakeup(now);
+                r->clear_wake_request();
+            }
+        }
+    }
+}
+
+void
+AlwaysOnPolicy::step(Cycle now)
+{
+    // Routers never sleep; just clear (and implicitly ignore) requests.
+    for (auto &subnet : routers_) {
+        for (Router *r : subnet) {
+            r->clear_wake_request();
+            r->account_power_cycle();
+        }
+    }
+    (void)now;
+}
+
+void
+IdleGatingPolicy::step(Cycle now)
+{
+    service_wake_requests(now);
+    for (auto &subnet : routers_) {
+        for (Router *r : subnet) {
+            if (r->can_sleep())
+                r->enter_sleep(now);
+            r->account_power_cycle();
+        }
+    }
+}
+
+void
+FinePortGatingPolicy::step(Cycle now)
+{
+    for (auto &subnet : routers_) {
+        for (Router *r : subnet) {
+            for (int p = 0; p < kNumPorts; ++p) {
+                const Direction d = direction_from_index(p);
+                if (r->port_wake_requested(d)) {
+                    r->port_begin_wakeup(d, now);
+                    r->clear_port_wake_request(d);
+                }
+                if (r->port_can_sleep(d))
+                    r->port_enter_sleep(d, now);
+            }
+            r->clear_wake_request(); // router-level FSM unused here
+            r->account_power_cycle();
+            r->account_port_power_cycles();
+        }
+    }
+}
+
+CatnapGatingPolicy::CatnapGatingPolicy(const ConcentratedMesh &mesh,
+                                       const CongestionState *congestion)
+    : mesh_(mesh), congestion_(congestion)
+{
+    CATNAP_ASSERT(congestion_ != nullptr,
+                  "Catnap gating requires the congestion detector");
+}
+
+void
+CatnapGatingPolicy::step(Cycle now)
+{
+    service_wake_requests(now);
+    for (std::size_t s = 0; s < routers_.size(); ++s) {
+        auto &subnet = routers_[s];
+        for (Router *r : subnet) {
+            if (s == 0) {
+                // Subnet 0 is always kept active (Section 3.3).
+                r->account_power_cycle();
+                continue;
+            }
+            const SubnetId lower = static_cast<SubnetId>(s) - 1;
+            const bool lower_congested =
+                congestion_->congested(r->node(), lower);
+            if (r->power_state() == PowerState::kSleep) {
+                // Wake as soon as the lower-order subnet congests: new
+                // packets are about to be steered our way.
+                if (lower_congested)
+                    r->begin_wakeup(now);
+            } else if (r->can_sleep() && !lower_congested) {
+                r->enter_sleep(now);
+            }
+            r->account_power_cycle();
+        }
+    }
+}
+
+std::unique_ptr<GatingPolicy>
+make_gating_policy(GatingKind kind, const ConcentratedMesh &mesh,
+                   const CongestionState *congestion)
+{
+    switch (kind) {
+      case GatingKind::kAlwaysOn:
+        return std::make_unique<AlwaysOnPolicy>();
+      case GatingKind::kIdle:
+        return std::make_unique<IdleGatingPolicy>();
+      case GatingKind::kCatnap:
+        return std::make_unique<CatnapGatingPolicy>(mesh, congestion);
+      case GatingKind::kFinePort:
+        return std::make_unique<FinePortGatingPolicy>();
+    }
+    CATNAP_PANIC("unknown gating kind");
+}
+
+} // namespace catnap

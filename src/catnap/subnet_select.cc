@@ -1,0 +1,159 @@
+#include "catnap/subnet_select.h"
+
+#include "catnap/congestion.h"
+#include "common/log.h"
+
+namespace catnap {
+
+const char *
+selector_kind_name(SelectorKind k)
+{
+    switch (k) {
+      case SelectorKind::kRoundRobin: return "RoundRobin";
+      case SelectorKind::kRandom:     return "Random";
+      case SelectorKind::kCatnap:     return "Catnap";
+      case SelectorKind::kClassPartition: return "ClassPartition";
+    }
+    return "?";
+}
+
+RoundRobinSelector::RoundRobinSelector(int num_nodes, int num_subnets)
+    : num_subnets_(num_subnets),
+      next_(static_cast<std::size_t>(num_nodes), 0)
+{
+}
+
+SubnetId
+RoundRobinSelector::select(NodeId node, const PacketDesc &pkt,
+                           const std::vector<bool> &slot_free,
+                           int backlog_flits, Cycle now)
+{
+    (void)pkt;
+    (void)backlog_flits;
+    (void)now;
+    int &ptr = next_[static_cast<std::size_t>(node)];
+    for (int i = 0; i < num_subnets_; ++i) {
+        const int s = (ptr + i) % num_subnets_;
+        if (slot_free[static_cast<std::size_t>(s)]) {
+            ptr = (s + 1) % num_subnets_;
+            return s;
+        }
+    }
+    return -1;
+}
+
+RandomSelector::RandomSelector(int num_subnets, Rng rng)
+    : num_subnets_(num_subnets), rng_(rng)
+{
+}
+
+SubnetId
+RandomSelector::select(NodeId node, const PacketDesc &pkt,
+                       const std::vector<bool> &slot_free,
+                       int backlog_flits, Cycle now)
+{
+    (void)node;
+    (void)pkt;
+    (void)backlog_flits;
+    (void)now;
+    int free_count = 0;
+    for (int s = 0; s < num_subnets_; ++s)
+        if (slot_free[static_cast<std::size_t>(s)])
+            ++free_count;
+    if (free_count == 0)
+        return -1;
+    int pick = static_cast<int>(
+        rng_.next_below(static_cast<std::uint64_t>(free_count)));
+    for (int s = 0; s < num_subnets_; ++s) {
+        if (!slot_free[static_cast<std::size_t>(s)])
+            continue;
+        if (pick-- == 0)
+            return s;
+    }
+    return -1;
+}
+
+CatnapSelector::CatnapSelector(int num_nodes, int num_subnets,
+                               const CongestionState *congestion,
+                               int spill_threshold)
+    : num_subnets_(num_subnets), congestion_(congestion),
+      spill_threshold_(spill_threshold),
+      rr_next_(static_cast<std::size_t>(num_nodes), 0)
+{
+    CATNAP_ASSERT(congestion_ != nullptr,
+                  "Catnap selector requires a congestion detector");
+}
+
+SubnetId
+CatnapSelector::select(NodeId node, const PacketDesc &pkt,
+                       const std::vector<bool> &slot_free,
+                       int backlog_flits, Cycle now)
+{
+    (void)pkt;
+    (void)now;
+    // Strict priority: inject into the lowest-order subnet whose
+    // congestion signal is clear. If that subnet's injection port is
+    // still streaming a previous packet, wait -- unless the NI backlog
+    // shows sustained pressure, in which case the occupied port is
+    // treated as local congestion and the packet moves up a subnet.
+    const bool pressured = backlog_flits > spill_threshold_;
+    for (int s = 0; s < num_subnets_; ++s) {
+        if (!congestion_->congested(node, s)) {
+            if (slot_free[static_cast<std::size_t>(s)])
+                return s;
+            if (!pressured)
+                return -1;
+            continue;
+        }
+    }
+    // Everything is congested: round-robin across free slots so load
+    // spreads evenly at saturation (Section 3.2).
+    int &ptr = rr_next_[static_cast<std::size_t>(node)];
+    for (int i = 0; i < num_subnets_; ++i) {
+        const int s = (ptr + i) % num_subnets_;
+        if (slot_free[static_cast<std::size_t>(s)]) {
+            ptr = (s + 1) % num_subnets_;
+            return s;
+        }
+    }
+    return -1;
+}
+
+ClassPartitionSelector::ClassPartitionSelector(int num_subnets)
+    : num_subnets_(num_subnets)
+{
+}
+
+SubnetId
+ClassPartitionSelector::select(NodeId node, const PacketDesc &pkt,
+                               const std::vector<bool> &slot_free,
+                               int backlog_flits, Cycle now)
+{
+    (void)node;
+    (void)backlog_flits;
+    (void)now;
+    const int s = static_cast<int>(pkt.mc) % num_subnets_;
+    return slot_free[static_cast<std::size_t>(s)] ? s : -1;
+}
+
+std::unique_ptr<SubnetSelector>
+make_selector(SelectorKind kind, int num_nodes, int num_subnets,
+              const CongestionState *congestion, Rng rng,
+              int spill_threshold)
+{
+    switch (kind) {
+      case SelectorKind::kRoundRobin:
+        return std::make_unique<RoundRobinSelector>(num_nodes, num_subnets);
+      case SelectorKind::kRandom:
+        return std::make_unique<RandomSelector>(num_subnets, rng);
+      case SelectorKind::kCatnap:
+        return std::make_unique<CatnapSelector>(num_nodes, num_subnets,
+                                                congestion,
+                                                spill_threshold);
+      case SelectorKind::kClassPartition:
+        return std::make_unique<ClassPartitionSelector>(num_subnets);
+    }
+    CATNAP_PANIC("unknown selector kind");
+}
+
+} // namespace catnap

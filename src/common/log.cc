@@ -1,0 +1,43 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace catnap {
+
+namespace {
+std::atomic<int> g_log_level{0};
+} // namespace
+
+int
+log_level()
+{
+    return g_log_level.load(std::memory_order_relaxed);
+}
+
+void
+set_log_level(int level)
+{
+    g_log_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+die(const char *kind, const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s:%d: %s\n", kind, file, line, msg.c_str());
+    std::fflush(stderr);
+    // Throw instead of abort() so tests can assert on fatal paths; the
+    // exception is never caught in normal binaries, terminating the run.
+    throw std::runtime_error(std::string(kind) + ": " + msg);
+}
+
+void
+emit(const char *kind, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", kind, msg.c_str());
+}
+
+} // namespace detail
+} // namespace catnap

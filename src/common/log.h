@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Lightweight logging / fatal-error helpers, in the spirit of gem5's
+ * logging.hh: panic() for simulator bugs, fatal() for user errors.
+ */
+#ifndef CATNAP_COMMON_LOG_H
+#define CATNAP_COMMON_LOG_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace catnap {
+
+/** Global log verbosity. 0 = quiet, 1 = info, 2 = debug trace. */
+int log_level();
+
+/** Sets the global log verbosity (see log_level()). */
+void set_log_level(int level);
+
+namespace detail {
+
+[[noreturn]] void die(const char *kind, const char *file, int line,
+                      const std::string &msg);
+
+void emit(const char *kind, const std::string &msg);
+
+/** Builds a message from stream-style arguments. */
+template <typename... Args>
+std::string
+format_msg(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace catnap
+
+/**
+ * Aborts the simulation: something happened that should never happen
+ * regardless of configuration (a simulator bug).
+ */
+#define CATNAP_PANIC(...)                                                   \
+    ::catnap::detail::die("panic", __FILE__, __LINE__,                      \
+                          ::catnap::detail::format_msg(__VA_ARGS__))
+
+/**
+ * Terminates the simulation due to a user error (bad configuration,
+ * invalid arguments) rather than a simulator bug.
+ */
+#define CATNAP_FATAL(...)                                                   \
+    ::catnap::detail::die("fatal", __FILE__, __LINE__,                      \
+                          ::catnap::detail::format_msg(__VA_ARGS__))
+
+/** Panics if @p cond is false. Always evaluated (unlike assert). */
+#define CATNAP_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::catnap::detail::die("panic", __FILE__, __LINE__,              \
+                ::catnap::detail::format_msg("assertion failed: " #cond " ",\
+                                             ##__VA_ARGS__));               \
+        }                                                                   \
+    } while (0)
+
+/** Informational message, printed when log level >= 1. */
+#define CATNAP_INFO(...)                                                    \
+    do {                                                                    \
+        if (::catnap::log_level() >= 1) {                                   \
+            ::catnap::detail::emit("info",                                  \
+                ::catnap::detail::format_msg(__VA_ARGS__));                 \
+        }                                                                   \
+    } while (0)
+
+/** Warning message: functionality may be degraded but simulation continues. */
+#define CATNAP_WARN(...)                                                    \
+    ::catnap::detail::emit("warn", ::catnap::detail::format_msg(__VA_ARGS__))
+
+#endif // CATNAP_COMMON_LOG_H

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Fundamental scalar types and identifiers used across the Catnap
+ * simulator.
+ *
+ * All simulator time is measured in router clock cycles (the network runs
+ * at a single frequency; see power::VoltageModel for the V/f relationship).
+ */
+#ifndef CATNAP_COMMON_TYPES_H
+#define CATNAP_COMMON_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace catnap {
+
+/** Simulation time in router clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Sentinel for "no cycle" / "never". */
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Identifies a network node (a router position in the topology). */
+using NodeId = std::int32_t;
+
+/** Identifies a subnet within a Multi-NoC (0 is the lowest order). */
+using SubnetId = std::int32_t;
+
+/** Identifies a virtual channel within a router port. */
+using VcId = std::int32_t;
+
+/** Identifies a core (tile) attached to the network through an NI. */
+using CoreId = std::int32_t;
+
+/** Monotonically increasing packet identifier, unique per simulation. */
+using PacketId = std::uint64_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNode = -1;
+
+/** Sentinel for "no VC allocated yet". */
+inline constexpr VcId kInvalidVc = -1;
+
+/**
+ * Router port direction. Mesh routers have five ports: four cardinal
+ * neighbour ports plus the local (network-interface) port.
+ */
+enum class Direction : std::int8_t {
+    kLocal = 0,
+    kNorth = 1,
+    kEast  = 2,
+    kSouth = 3,
+    kWest  = 4,
+};
+
+/** Number of ports on a mesh router (4 cardinal + local). */
+inline constexpr int kNumPorts = 5;
+
+/** Converts a Direction to a dense port index in [0, kNumPorts). */
+constexpr int
+port_index(Direction d)
+{
+    return static_cast<int>(d);
+}
+
+/** Converts a dense port index back to a Direction. */
+constexpr Direction
+direction_from_index(int idx)
+{
+    return static_cast<Direction>(idx);
+}
+
+/** Returns the direction a flit travels when leaving through @p d. */
+constexpr Direction
+opposite(Direction d)
+{
+    switch (d) {
+      case Direction::kNorth: return Direction::kSouth;
+      case Direction::kSouth: return Direction::kNorth;
+      case Direction::kEast:  return Direction::kWest;
+      case Direction::kWest:  return Direction::kEast;
+      default:                return Direction::kLocal;
+    }
+}
+
+/** Human-readable name for a Direction. */
+constexpr const char *
+direction_name(Direction d)
+{
+    switch (d) {
+      case Direction::kLocal: return "Local";
+      case Direction::kNorth: return "North";
+      case Direction::kEast:  return "East";
+      case Direction::kSouth: return "South";
+      case Direction::kWest:  return "West";
+    }
+    return "?";
+}
+
+/**
+ * Message classes carried by the network. Dependent classes map to
+ * distinct virtual channels to guarantee protocol-level deadlock freedom
+ * (Section 2.3 of the paper).
+ */
+enum class MessageClass : std::int8_t {
+    kRequest = 0,       ///< coherence requests (control, single flit)
+    kForward = 1,       ///< directory forwards (control, point-to-point ordered)
+    kResponseData = 2,  ///< data responses (cache-block sized)
+    kResponseCtrl = 3,  ///< acks / control responses (single flit)
+};
+
+/** Number of distinct message classes (== VCs per port in the paper). */
+inline constexpr int kNumMessageClasses = 4;
+
+/** Human-readable name for a MessageClass. */
+constexpr const char *
+message_class_name(MessageClass mc)
+{
+    switch (mc) {
+      case MessageClass::kRequest:      return "Request";
+      case MessageClass::kForward:      return "Forward";
+      case MessageClass::kResponseData: return "RespData";
+      case MessageClass::kResponseCtrl: return "RespCtrl";
+    }
+    return "?";
+}
+
+/** Power state of a router (Section 3.1). */
+enum class PowerState : std::int8_t {
+    kActive = 0,  ///< full supply voltage, operational
+    kSleep  = 1,  ///< power gated, retains nothing, leaks ~nothing
+    kWakeup = 2,  ///< charging local rail back to Vdd; not yet operational
+};
+
+/** Human-readable name for a PowerState. */
+constexpr const char *
+power_state_name(PowerState ps)
+{
+    switch (ps) {
+      case PowerState::kActive: return "Active";
+      case PowerState::kSleep:  return "Sleep";
+      case PowerState::kWakeup: return "Wakeup";
+    }
+    return "?";
+}
+
+} // namespace catnap
+
+#endif // CATNAP_COMMON_TYPES_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Round-robin arbitration used by the separable VC and switch allocators.
+ */
+#ifndef CATNAP_NOC_ARBITER_H
+#define CATNAP_NOC_ARBITER_H
+
+#include <vector>
+
+#include "common/log.h"
+
+namespace catnap {
+
+/**
+ * A round-robin arbiter over a fixed number of requestors. Grants rotate
+ * so that the most recently granted requestor has lowest priority next
+ * time, giving strong fairness.
+ */
+class RoundRobinArbiter
+{
+  public:
+    /** Creates an arbiter over @p num_requestors inputs. */
+    explicit RoundRobinArbiter(int num_requestors)
+        : n_(num_requestors)
+    {
+        CATNAP_ASSERT(n_ > 0, "arbiter needs at least one requestor");
+    }
+
+    /**
+     * Grants one of the asserted requests.
+     *
+     * @param requests request vector; requests.size() must equal the
+     *        arbiter width
+     * @return the granted index, or -1 if no request is asserted. The
+     *         rotation pointer advances only on a grant.
+     */
+    int
+    arbitrate(const std::vector<bool> &requests)
+    {
+        CATNAP_ASSERT(static_cast<int>(requests.size()) == n_,
+                      "request vector width mismatch");
+        for (int i = 0; i < n_; ++i) {
+            const int idx = (next_ + i) % n_;
+            if (requests[idx]) {
+                next_ = (idx + 1) % n_;
+                return idx;
+            }
+        }
+        return -1;
+    }
+
+    /** Number of requestors. */
+    int width() const { return n_; }
+
+    /** Index that currently has the highest grant priority. */
+    int priority() const { return next_; }
+
+  private:
+    int n_;
+    int next_ = 0;
+};
+
+} // namespace catnap
+
+#endif // CATNAP_NOC_ARBITER_H

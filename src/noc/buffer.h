@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fixed-capacity ring-buffer FIFO used for per-VC input buffers and NI
+ * queues. No allocation after construction.
+ */
+#ifndef CATNAP_NOC_BUFFER_H
+#define CATNAP_NOC_BUFFER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/log.h"
+
+namespace catnap {
+
+/**
+ * A bounded FIFO with O(1) push/pop backed by a ring buffer.
+ *
+ * @tparam T element type (value semantics)
+ */
+template <typename T>
+class RingFifo
+{
+  public:
+    /** Creates a FIFO holding at most @p capacity elements. */
+    explicit RingFifo(std::size_t capacity)
+        : slots_(capacity)
+    {
+        CATNAP_ASSERT(capacity > 0, "FIFO capacity must be positive");
+    }
+
+    /** Number of elements currently queued. */
+    std::size_t size() const { return size_; }
+
+    /** Maximum number of elements. */
+    std::size_t capacity() const { return slots_.size(); }
+
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == slots_.size(); }
+
+    /** Free slots remaining. */
+    std::size_t free_slots() const { return slots_.size() - size_; }
+
+    /** Enqueues @p v; panics if full (callers must check credits first). */
+    void
+    push(const T &v)
+    {
+        CATNAP_ASSERT(!full(), "push into full FIFO");
+        slots_[(head_ + size_) % slots_.size()] = v;
+        ++size_;
+    }
+
+    /** Oldest element; panics if empty. */
+    const T &
+    front() const
+    {
+        CATNAP_ASSERT(!empty(), "front of empty FIFO");
+        return slots_[head_];
+    }
+
+    /** Mutable access to the oldest element; panics if empty. */
+    T &
+    front()
+    {
+        CATNAP_ASSERT(!empty(), "front of empty FIFO");
+        return slots_[head_];
+    }
+
+    /** Removes and returns the oldest element; panics if empty. */
+    T
+    pop()
+    {
+        CATNAP_ASSERT(!empty(), "pop from empty FIFO");
+        T v = slots_[head_];
+        head_ = (head_ + 1) % slots_.size();
+        --size_;
+        return v;
+    }
+
+    /** Element @p i positions behind the front (0 == front). */
+    const T &
+    at(std::size_t i) const
+    {
+        CATNAP_ASSERT(i < size_, "FIFO index out of range");
+        return slots_[(head_ + i) % slots_.size()];
+    }
+
+    /** Drops all elements. */
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace catnap
+
+#endif // CATNAP_NOC_BUFFER_H

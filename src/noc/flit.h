@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Flits and packets: the units of data transfer in the network.
+ *
+ * A packet is flitized at the network interface into
+ * ceil(packet_bits / link_width_bits) flits; all flits of a packet travel
+ * through the same subnet and the same VC at each hop (wormhole switching
+ * with virtual-channel flow control, Section 2.1).
+ */
+#ifndef CATNAP_NOC_FLIT_H
+#define CATNAP_NOC_FLIT_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace catnap {
+
+/**
+ * Description of a packet as produced by a traffic source and queued at
+ * the source network interface.
+ */
+struct PacketDesc
+{
+    PacketId id = 0;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    MessageClass mc = MessageClass::kRequest;
+    /** Total packet size (payload + header) in bits. */
+    int size_bits = 0;
+    /** Cycle the packet was created / enqueued at the source NI. */
+    Cycle created = 0;
+    /** Opaque tag for higher layers (carried into every flit). */
+    std::uint64_t user = 0;
+};
+
+/**
+ * One flow-control unit. Flits are small value types: the per-flit hot
+ * path performs no dynamic allocation.
+ */
+struct Flit
+{
+    PacketId pkt = 0;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    MessageClass mc = MessageClass::kRequest;
+    /** Flit index within its packet (0 == head). */
+    std::int16_t seq = 0;
+    /** Total number of flits in the packet. */
+    std::int16_t pkt_flits = 1;
+    /**
+     * Look-ahead route: the output port this flit takes at the router it
+     * is (or will be) buffered in. Computed one hop upstream (Section 2.1,
+     * look-ahead routing [12]).
+     */
+    Direction out_dir = Direction::kLocal;
+    /**
+     * Input VC this flit occupies at the router it is travelling to,
+     * chosen by the upstream VC allocator (or the NI for injection).
+     */
+    VcId vc = kInvalidVc;
+    /** Tag for higher layers (e.g. the app substrate's MSHR index). */
+    std::uint64_t user = 0;
+    /**
+     * Torus only: true once the packet has crossed the dateline (wrap
+     * link) of the ring it is currently travelling, switching it to the
+     * high VC of its dateline pair. Reset when the packet turns into the
+     * next dimension; always false on a plain mesh.
+     */
+    bool wrapped = false;
+    /** Cycle the packet was created at the source. */
+    Cycle created = 0;
+    /** Cycle the head flit was injected into the subnet router. */
+    Cycle injected = 0;
+
+    bool is_head() const { return seq == 0; }
+    bool is_tail() const { return seq == pkt_flits - 1; }
+};
+
+/** Number of flits needed to carry @p packet_bits over @p link_bits wires. */
+constexpr int
+flits_per_packet(int packet_bits, int link_bits)
+{
+    return (packet_bits + link_bits - 1) / link_bits;
+}
+
+} // namespace catnap
+
+#endif // CATNAP_NOC_FLIT_H

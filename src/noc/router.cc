@@ -1,0 +1,660 @@
+#include "noc/router.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.h"
+#include "noc/routing.h"
+
+namespace catnap {
+
+namespace {
+
+/** Credits assigned to the local output port, which ejects into the NI's
+ * (conceptually unbounded) reassembly buffers. */
+constexpr int kLocalPortCredits = std::numeric_limits<int>::max() / 2;
+
+} // namespace
+
+Router::Router(NodeId node, SubnetId subnet, const SubnetParams &params,
+               const ConcentratedMesh &mesh)
+    : node_(node), subnet_(subnet), params_(params), mesh_(mesh)
+{
+    CATNAP_ASSERT(params_.num_vcs > 0 && params_.vc_depth_flits > 0,
+                  "router needs VCs and buffer depth");
+    CATNAP_ASSERT(params_.num_vcs % params_.num_classes == 0,
+                  "VCs must partition evenly across message classes");
+
+    const auto slots =
+        static_cast<std::size_t>(kNumPorts * params_.num_vcs);
+    fifos_.reserve(slots);
+    for (std::size_t i = 0; i < slots; ++i)
+        fifos_.emplace_back(static_cast<std::size_t>(params_.vc_depth_flits));
+    vc_state_.resize(slots);
+    out_owner_.assign(slots, 0);
+    out_credits_.assign(slots, 0);
+    // Local output port ejects into the NI: effectively infinite credit.
+    for (int vc = 0; vc < params_.num_vcs; ++vc)
+        out_credits_[fifo_index(port_index(Direction::kLocal), vc)] =
+            kLocalPortCredits;
+
+    va_rr_.assign(kNumPorts, 0);
+    sa_input_rr_.assign(kNumPorts, 0);
+    sa_output_rr_.assign(kNumPorts, 0);
+}
+
+void
+Router::connect(Direction d, Router *neighbor)
+{
+    CATNAP_ASSERT(d != Direction::kLocal, "local port has no router peer");
+    neighbors_[static_cast<std::size_t>(port_index(d))] = neighbor;
+    if (neighbor) {
+        // Credit-based flow control: we may send as many flits per VC as
+        // the downstream buffer can hold.
+        for (int vc = 0; vc < params_.num_vcs; ++vc)
+            out_credits_[fifo_index(port_index(d), vc)] =
+                params_.vc_depth_flits;
+    }
+}
+
+bool
+Router::can_accept_at(Cycle arrival) const
+{
+    switch (power_state_) {
+      case PowerState::kActive: return true;
+      case PowerState::kWakeup: return wake_done_ <= arrival;
+      case PowerState::kSleep:  return false;
+    }
+    return false;
+}
+
+void
+Router::evaluate(Cycle now)
+{
+    // A gated or waking router performs no allocation; an empty router
+    // with no packet mid-stream has nothing to allocate either.
+    if (power_state_ != PowerState::kActive)
+        return;
+    if (total_buffered_ == 0)
+        return;
+    run_vc_allocation(now);
+    run_switch_allocation(now);
+}
+
+void
+Router::run_vc_allocation(Cycle now)
+{
+    (void)now;
+    const int num_vcs = params_.num_vcs;
+    const int slots = kNumPorts * num_vcs;
+
+    // For each output port, scan head-of-VC head flits requesting that
+    // port in round-robin order and hand out free downstream VCs within
+    // the packet's message-class partition.
+    for (int out = 0; out < kNumPorts; ++out) {
+        int granted = 0;
+        for (int i = 0; i < slots && granted < num_vcs; ++i) {
+            const int slot = (va_rr_[static_cast<std::size_t>(out)] + i)
+                             % slots;
+            const int inport = slot / num_vcs;
+            if (inport == out)
+                continue; // no U-turns (X-Y routing never needs them)
+            auto &st = vc_state_[static_cast<std::size_t>(slot)];
+            const auto &fifo = fifos_[static_cast<std::size_t>(slot)];
+            if (st.active || fifo.empty())
+                continue;
+            const Flit &head = fifo.front();
+            if (!head.is_head() ||
+                port_index(head.out_dir) != out) {
+                continue;
+            }
+            // Find a free VC in this message class's partition. On a
+            // torus each partition is split into a dateline pair: the
+            // lower half serves packets that have not crossed their
+            // ring's wrap link (counting a crossing on this very hop),
+            // the upper half those that have. This breaks the ring
+            // buffer-dependency cycles, making DOR deadlock free.
+            const int cls = static_cast<int>(head.mc) % params_.num_classes;
+            int base = params_.first_vc_of_class(cls);
+            int span = params_.vcs_per_class();
+            if (mesh_.is_torus() && head.out_dir != Direction::kLocal) {
+                span /= 2;
+                const bool crossed =
+                    head.wrapped || mesh_.link_wraps(node_, head.out_dir);
+                if (crossed)
+                    base += span;
+            }
+            VcId chosen = kInvalidVc;
+            for (int v = 0; v < span; ++v) {
+                const int vc = base + v;
+                if (out_owner_[fifo_index(out, vc)] == 0) {
+                    chosen = vc;
+                    break;
+                }
+            }
+            if (chosen == kInvalidVc)
+                continue;
+            out_owner_[fifo_index(out, chosen)] =
+                static_cast<std::int64_t>(head.pkt) + 1;
+            st.active = true;
+            st.out_dir = head.out_dir;
+            st.out_vc = chosen;
+            ++granted;
+            ++activity_.arb_ops;
+            // Rotate priority past this requestor for fairness.
+            va_rr_[static_cast<std::size_t>(out)] = (slot + 1) % slots;
+        }
+    }
+}
+
+void
+Router::run_switch_allocation(Cycle now)
+{
+    const int num_vcs = params_.num_vcs;
+
+    // Input-first separable allocation: each input port nominates one
+    // ready VC, then each output port picks one nominating input port.
+    std::array<int, kNumPorts> nominee_vc;
+    nominee_vc.fill(-1);
+
+    for (int inport = 0; inport < kNumPorts; ++inport) {
+        for (int i = 0; i < num_vcs; ++i) {
+            const int invc =
+                (sa_input_rr_[static_cast<std::size_t>(inport)] + i)
+                % num_vcs;
+            const auto idx = fifo_index(inport, invc);
+            const auto &st = vc_state_[idx];
+            const auto &fifo = fifos_[idx];
+            if (!st.active || fifo.empty())
+                continue;
+            const int out = port_index(st.out_dir);
+            if (out_credits_[fifo_index(out, st.out_vc)] <= 0)
+                continue;
+            if (st.out_dir != Direction::kLocal) {
+                Router *nbr =
+                    neighbors_[static_cast<std::size_t>(out)];
+                CATNAP_ASSERT(nbr != nullptr,
+                              "route out of mesh at node ", node_);
+                const Cycle arrival =
+                    now + static_cast<Cycle>(params_.st_delay
+                                             + params_.link_delay);
+                if (!nbr->can_accept_at(arrival))
+                    continue;
+                if (params_.port_gating &&
+                    !nbr->can_accept_port_at(opposite(st.out_dir),
+                                             arrival)) {
+                    continue;
+                }
+            }
+            if (nominee_vc[static_cast<std::size_t>(inport)] < 0)
+                nominee_vc[static_cast<std::size_t>(inport)] = invc;
+        }
+    }
+
+    // Output arbitration among nominating inputs.
+    std::array<int, kNumPorts> winner_in;
+    winner_in.fill(-1);
+    for (int out = 0; out < kNumPorts; ++out) {
+        for (int i = 0; i < kNumPorts; ++i) {
+            const int inport =
+                (sa_output_rr_[static_cast<std::size_t>(out)] + i)
+                % kNumPorts;
+            const int invc = nominee_vc[static_cast<std::size_t>(inport)];
+            if (invc < 0)
+                continue;
+            const auto &st = vc_state_[fifo_index(inport, invc)];
+            if (port_index(st.out_dir) != out)
+                continue;
+            winner_in[static_cast<std::size_t>(out)] = inport;
+            sa_output_rr_[static_cast<std::size_t>(out)] =
+                (inport + 1) % kNumPorts;
+            break;
+        }
+    }
+
+    // Traversal for winners.
+    for (int out = 0; out < kNumPorts; ++out) {
+        const int inport = winner_in[static_cast<std::size_t>(out)];
+        if (inport < 0)
+            continue;
+        const int invc = nominee_vc[static_cast<std::size_t>(inport)];
+        const auto idx = fifo_index(inport, invc);
+        auto &st = vc_state_[idx];
+        auto &fifo = fifos_[idx];
+
+        Flit f = fifo.pop();
+        --total_buffered_;
+        sa_input_rr_[static_cast<std::size_t>(inport)] =
+            (invc + 1) % num_vcs;
+
+        ++activity_.buffer_reads;
+        ++activity_.xbar_traversals;
+        ++activity_.arb_ops;
+        ++switched_flits_;
+        head_block_cycles_ += (now > st.head_since)
+            ? (now - st.head_since) : 0;
+
+        // Consume a credit toward the downstream buffer.
+        --out_credits_[fifo_index(out, st.out_vc)];
+
+        // Return a credit for the buffer slot this flit vacated.
+        if (inport == port_index(Direction::kLocal)) {
+            CATNAP_ASSERT(local_client_, "no NI attached at node ", node_);
+            local_client_->return_local_credit(
+                invc, now + static_cast<Cycle>(params_.credit_delay));
+        } else {
+            Router *up = neighbors_[static_cast<std::size_t>(inport)];
+            CATNAP_ASSERT(up != nullptr, "credit to missing neighbour");
+            up->deliver_credit(
+                opposite(direction_from_index(inport)), invc,
+                now + static_cast<Cycle>(params_.credit_delay));
+        }
+
+        if (st.out_dir == Direction::kLocal) {
+            CATNAP_ASSERT(local_client_, "no NI attached at node ", node_);
+            local_client_->eject_flit(
+                f, now + static_cast<Cycle>(params_.st_delay));
+        } else {
+            Router *nbr = neighbors_[static_cast<std::size_t>(out)];
+            ++activity_.link_flits;
+            // Look-ahead routing: stamp the output port the flit will
+            // take at the downstream router before it leaves.
+            Flit next = f;
+            next.out_dir = xy_route(mesh_, nbr->node(), f.dst);
+            next.vc = st.out_vc;
+            // Dateline tracking: carry the crossed bit along the current
+            // ring (including a crossing on this hop); a turn into the
+            // next dimension starts that ring's journey uncrossed.
+            next.wrapped =
+                same_dimension(st.out_dir, next.out_dir) &&
+                (f.wrapped || mesh_.link_wraps(node_, st.out_dir));
+            nbr->deliver_flit(
+                next, opposite(st.out_dir),
+                now + static_cast<Cycle>(params_.st_delay
+                                         + params_.link_delay));
+        }
+
+        if (f.is_tail()) {
+            out_owner_[fifo_index(out, st.out_vc)] = 0;
+            st.active = false;
+            st.out_vc = kInvalidVc;
+        }
+        st.head_since = now + 1;
+    }
+
+    // Heads that waited this cycle without switching accumulate blocking
+    // delay implicitly via head_since; nothing further to do here.
+}
+
+void
+Router::deliver_flit(const Flit &flit, Direction inport, Cycle ready)
+{
+    arrivals_.push_back(Arrival{ready, inport, flit});
+}
+
+void
+Router::deliver_credit(Direction port, VcId vc, Cycle ready)
+{
+    credit_events_.push_back(CreditEvent{ready, port, vc});
+}
+
+void
+Router::commit(Cycle now)
+{
+    // Advance the power FSMs before accepting arrivals so a wake-up
+    // that completes this cycle can receive the flit timed to land now.
+    if (power_state_ == PowerState::kWakeup && now >= wake_done_)
+        power_state_ = PowerState::kActive;
+    if (params_.port_gating) {
+        for (auto &pp : port_power_) {
+            if (pp.state == PowerState::kWakeup && now >= pp.wake_done)
+                pp.state = PowerState::kActive;
+        }
+    }
+
+    apply_credits(now);
+    apply_arrivals(now);
+
+    if (buffers_empty()) {
+        if (idle_streak_ < std::numeric_limits<int>::max())
+            ++idle_streak_;
+    } else {
+        idle_streak_ = 0;
+    }
+    if (params_.port_gating) {
+        for (int p = 0; p < kNumPorts; ++p) {
+            auto &pp = port_power_[static_cast<std::size_t>(p)];
+            if (port_occupancy(direction_from_index(p)) == 0) {
+                if (pp.idle_streak < std::numeric_limits<int>::max())
+                    ++pp.idle_streak;
+            } else {
+                pp.idle_streak = 0;
+            }
+        }
+    }
+}
+
+void
+Router::apply_arrivals(Cycle now)
+{
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < arrivals_.size(); ++i) {
+        Arrival &a = arrivals_[i];
+        if (a.ready > now) {
+            arrivals_[kept++] = a;
+            continue;
+        }
+        CATNAP_ASSERT(power_state_ == PowerState::kActive,
+                      "flit arrived at a non-active router ", node_,
+                      " subnet ", subnet_, " state ",
+                      power_state_name(power_state_));
+        if (params_.port_gating) {
+            const auto &pp =
+                port_power_[static_cast<std::size_t>(port_index(a.inport))];
+            CATNAP_ASSERT(pp.state == PowerState::kActive,
+                          "flit arrived at a gated port of router ",
+                          node_);
+        }
+        CATNAP_ASSERT(a.flit.vc >= 0 && a.flit.vc < params_.num_vcs,
+                      "flit with unallocated VC");
+        const auto idx = fifo_index(port_index(a.inport), a.flit.vc);
+        auto &fifo = fifos_[idx];
+        CATNAP_ASSERT(!fifo.full(), "buffer overflow despite credits at ",
+                      node_, " port ", direction_name(a.inport));
+        if (fifo.empty())
+            vc_state_[idx].head_since = now + 1;
+        fifo.push(a.flit);
+        ++total_buffered_;
+        ++activity_.buffer_writes;
+
+        if (a.flit.is_head()) {
+            // The announced packet has arrived.
+            if (params_.port_gating) {
+                auto &pp = port_power_[static_cast<std::size_t>(
+                    port_index(a.inport))];
+                CATNAP_ASSERT(pp.expected > 0,
+                              "unannounced head flit at node ", node_);
+                --pp.expected;
+            } else {
+                CATNAP_ASSERT(expected_packets_ > 0,
+                              "unannounced head flit at node ", node_);
+                --expected_packets_;
+            }
+            // Announce it one hop further and send the look-ahead wake
+            // signal to the next router (Section 3.3).
+            if (a.flit.out_dir != Direction::kLocal) {
+                Router *nxt = neighbors_[static_cast<std::size_t>(
+                    port_index(a.flit.out_dir))];
+                CATNAP_ASSERT(nxt != nullptr, "head routed off mesh");
+                if (params_.port_gating) {
+                    nxt->note_expected_packet_at(
+                        opposite(a.flit.out_dir));
+                    nxt->request_port_wakeup(opposite(a.flit.out_dir));
+                } else {
+                    nxt->note_expected_packet();
+                    nxt->request_wakeup();
+                }
+            }
+        }
+    }
+    arrivals_.resize(kept);
+}
+
+void
+Router::apply_credits(Cycle now)
+{
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < credit_events_.size(); ++i) {
+        CreditEvent &c = credit_events_[i];
+        if (c.ready > now) {
+            credit_events_[kept++] = c;
+            continue;
+        }
+        ++out_credits_[fifo_index(port_index(c.port), c.vc)];
+        CATNAP_ASSERT(
+            out_credits_[fifo_index(port_index(c.port), c.vc)] <=
+                params_.vc_depth_flits ||
+                c.port == Direction::kLocal,
+            "credit overflow at node ", node_);
+    }
+    credit_events_.resize(kept);
+}
+
+bool
+Router::can_sleep() const
+{
+    if (power_state_ != PowerState::kActive)
+        return false;
+    if (idle_streak_ < params_.t_idle_detect)
+        return false;
+    if (!arrivals_.empty() || expected_packets_ > 0)
+        return false;
+    for (const auto &st : vc_state_)
+        if (st.active)
+            return false;
+    return true;
+}
+
+void
+Router::enter_sleep(Cycle now)
+{
+    CATNAP_ASSERT(power_state_ == PowerState::kActive, "sleep from non-active");
+    CATNAP_ASSERT(buffers_empty(), "sleep with buffered flits");
+    power_state_ = PowerState::kSleep;
+    sleep_start_ = now;
+    ++activity_.sleep_transitions;
+}
+
+void
+Router::begin_wakeup(Cycle now)
+{
+    if (power_state_ != PowerState::kSleep)
+        return;
+    const auto period = static_cast<std::int64_t>(now - sleep_start_);
+    const auto be = static_cast<std::int64_t>(params_.t_breakeven);
+    const std::int64_t csc_total = std::max<std::int64_t>(0, period - be);
+    const std::int64_t net_total = period - be;
+    activity_.compensated_sleep_cycles += csc_total - csc_credited_;
+    activity_.net_sleep_savings_cycles += net_total - net_credited_;
+    csc_credited_ = 0;
+    net_credited_ = 0;
+    power_state_ = PowerState::kWakeup;
+    wake_done_ = now + static_cast<Cycle>(params_.t_wakeup);
+}
+
+bool
+Router::can_accept_port_at(Direction inport, Cycle arrival) const
+{
+    if (!params_.port_gating)
+        return can_accept_at(arrival);
+    const auto &pp =
+        port_power_[static_cast<std::size_t>(port_index(inport))];
+    switch (pp.state) {
+      case PowerState::kActive: return true;
+      case PowerState::kWakeup: return pp.wake_done <= arrival;
+      case PowerState::kSleep:  return false;
+    }
+    return false;
+}
+
+void
+Router::note_expected_packet_at(Direction inport)
+{
+    ++port_power_[static_cast<std::size_t>(port_index(inport))].expected;
+}
+
+void
+Router::request_port_wakeup(Direction inport)
+{
+    port_power_[static_cast<std::size_t>(port_index(inport))]
+        .wake_requested = true;
+}
+
+PowerState
+Router::port_power_state(Direction inport) const
+{
+    return port_power_[static_cast<std::size_t>(port_index(inport))].state;
+}
+
+bool
+Router::port_wake_requested(Direction inport) const
+{
+    return port_power_[static_cast<std::size_t>(port_index(inport))]
+        .wake_requested;
+}
+
+void
+Router::clear_port_wake_request(Direction inport)
+{
+    port_power_[static_cast<std::size_t>(port_index(inport))]
+        .wake_requested = false;
+}
+
+bool
+Router::port_can_sleep(Direction inport) const
+{
+    const int p = port_index(inport);
+    const auto &pp = port_power_[static_cast<std::size_t>(p)];
+    if (pp.state != PowerState::kActive)
+        return false;
+    if (pp.idle_streak < params_.t_idle_detect || pp.expected > 0)
+        return false;
+    for (const auto &a : arrivals_) {
+        if (port_index(a.inport) == p)
+            return false;
+    }
+    for (int vc = 0; vc < params_.num_vcs; ++vc) {
+        if (vc_state_[fifo_index(p, vc)].active)
+            return false;
+    }
+    return true;
+}
+
+void
+Router::port_enter_sleep(Direction inport, Cycle now)
+{
+    auto &pp = port_power_[static_cast<std::size_t>(port_index(inport))];
+    CATNAP_ASSERT(pp.state == PowerState::kActive,
+                  "port sleep from non-active state");
+    pp.state = PowerState::kSleep;
+    pp.sleep_start = now;
+    ++activity_.port_sleep_transitions;
+}
+
+void
+Router::port_begin_wakeup(Direction inport, Cycle now)
+{
+    auto &pp = port_power_[static_cast<std::size_t>(port_index(inport))];
+    if (pp.state != PowerState::kSleep)
+        return;
+    const auto period = static_cast<std::int64_t>(now - pp.sleep_start);
+    const auto be = static_cast<std::int64_t>(params_.t_breakeven);
+    const std::int64_t csc_total = std::max<std::int64_t>(0, period - be);
+    const std::int64_t net_total = period - be;
+    activity_.port_compensated_sleep_cycles += csc_total - pp.csc_credited;
+    activity_.port_net_sleep_savings_cycles += net_total - pp.net_credited;
+    pp.csc_credited = 0;
+    pp.net_credited = 0;
+    pp.state = PowerState::kWakeup;
+    pp.wake_done = now + static_cast<Cycle>(params_.t_wakeup);
+}
+
+void
+Router::account_port_power_cycles()
+{
+    for (const auto &pp : port_power_) {
+        if (pp.state == PowerState::kSleep)
+            ++activity_.port_sleep_cycles;
+    }
+}
+
+void
+Router::flush_sleep_accounting(Cycle now)
+{
+    if (power_state_ != PowerState::kSleep)
+        return;
+    const auto period = static_cast<std::int64_t>(now - sleep_start_);
+    const auto be = static_cast<std::int64_t>(params_.t_breakeven);
+    const std::int64_t csc_total = std::max<std::int64_t>(0, period - be);
+    const std::int64_t net_total = period - be;
+    activity_.compensated_sleep_cycles += csc_total - csc_credited_;
+    activity_.net_sleep_savings_cycles += net_total - net_credited_;
+    csc_credited_ = csc_total;
+    net_credited_ = net_total;
+}
+
+void
+Router::flush_port_sleep_accounting(Cycle now)
+{
+    if (!params_.port_gating)
+        return;
+    for (auto &pp : port_power_) {
+        if (pp.state != PowerState::kSleep)
+            continue;
+        const auto period =
+            static_cast<std::int64_t>(now - pp.sleep_start);
+        const auto be = static_cast<std::int64_t>(params_.t_breakeven);
+        const std::int64_t csc_total =
+            std::max<std::int64_t>(0, period - be);
+        const std::int64_t net_total = period - be;
+        activity_.port_compensated_sleep_cycles +=
+            csc_total - pp.csc_credited;
+        activity_.port_net_sleep_savings_cycles +=
+            net_total - pp.net_credited;
+        pp.csc_credited = csc_total;
+        pp.net_credited = net_total;
+    }
+}
+
+void
+Router::account_power_cycle()
+{
+    if (power_state_ == PowerState::kSleep)
+        ++activity_.sleep_cycles;
+    else
+        ++activity_.active_cycles;
+}
+
+int
+Router::port_occupancy(Direction p) const
+{
+    int total = 0;
+    for (int vc = 0; vc < params_.num_vcs; ++vc)
+        total += static_cast<int>(vc_fifo(port_index(p), vc).size());
+    return total;
+}
+
+int
+Router::max_port_occupancy() const
+{
+    int best = 0;
+    for (int p = 0; p < kNumPorts; ++p)
+        best = std::max(best, port_occupancy(direction_from_index(p)));
+    return best;
+}
+
+double
+Router::avg_port_occupancy() const
+{
+    return static_cast<double>(total_occupancy()) / kNumPorts;
+}
+
+int
+Router::total_occupancy() const
+{
+    return total_buffered_;
+}
+
+bool
+Router::buffers_empty() const
+{
+    return total_buffered_ == 0;
+}
+
+int
+Router::output_credits(Direction p, VcId vc) const
+{
+    return out_credits_[fifo_index(port_index(p), vc)];
+}
+
+} // namespace catnap

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Two-stage speculative input-buffered virtual-channel router with
+ * wormhole switching, look-ahead X-Y routing, credit-based flow control,
+ * and power-gating hooks (Sections 2.1, 3.1, 3.3 of the paper).
+ *
+ * Pipeline model: a flit that is visible in an input buffer at cycle t
+ * may perform VC allocation and (speculative) switch allocation in the
+ * same evaluate step; a switch-allocation winner traverses the crossbar
+ * and the output link, becoming visible in the downstream buffer at
+ * t + st_delay + link_delay (3-cycle per-hop latency with the default
+ * 1+1+1 parameters, matching a 2-stage router plus a 1-cycle link).
+ *
+ * Simulation discipline: each cycle runs three phases over all routers —
+ * evaluate() (reads only state committed in previous cycles; queues
+ * effects), commit() (applies queued arrivals/credits and advances the
+ * power FSM), and a policy phase owned by the gating policy (wake/sleep
+ * transitions). This two-phase-plus-policy structure makes results
+ * independent of router iteration order.
+ */
+#ifndef CATNAP_NOC_ROUTER_H
+#define CATNAP_NOC_ROUTER_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "noc/buffer.h"
+#include "noc/flit.h"
+#include "noc/params.h"
+#include "power/activity.h"
+#include "topology/topology.h"
+
+namespace catnap {
+
+/**
+ * Interface the router uses to talk to the node's network interface over
+ * its local port: ejecting flits and returning injection credits.
+ */
+class LocalPortClient
+{
+  public:
+    virtual ~LocalPortClient() = default;
+
+    /** A credit for VC @p vc of the local input port, usable at @p ready. */
+    virtual void return_local_credit(VcId vc, Cycle ready) = 0;
+
+    /** Flit ejected through the local output port, arriving at @p ready. */
+    virtual void eject_flit(const Flit &flit, Cycle ready) = 0;
+};
+
+/**
+ * One router of one subnet. See file comment for the pipeline and
+ * phasing model.
+ */
+class Router
+{
+  public:
+    /**
+     * Creates a router.
+     *
+     * @param node its position in the mesh
+     * @param subnet which subnet it belongs to (0 == lowest order)
+     * @param params structural/timing parameters shared by the subnet
+     * @param mesh the topology (used for look-ahead route computation)
+     */
+    Router(NodeId node, SubnetId subnet, const SubnetParams &params,
+           const ConcentratedMesh &mesh);
+
+    /** Wires the neighbour in direction @p d (nullptr at mesh edges). */
+    void connect(Direction d, Router *neighbor);
+
+    /** Registers the NI-side client of the local port. */
+    void set_local_client(LocalPortClient *client) { local_client_ = client; }
+
+    // ------------------------------------------------------------------
+    // Per-cycle phases
+    // ------------------------------------------------------------------
+
+    /** Phase 1: VC allocation + switch allocation + traversal decisions. */
+    void evaluate(Cycle now);
+
+    /** Phase 2: apply queued arrivals and credits; advance power FSM. */
+    void commit(Cycle now);
+
+    // ------------------------------------------------------------------
+    // Upstream-facing interface (called by neighbours / the NI)
+    // ------------------------------------------------------------------
+
+    /**
+     * Hands over a flit that will be written into input port @p inport
+     * at cycle @p ready. The caller must have checked can_accept_at().
+     */
+    void deliver_flit(const Flit &flit, Direction inport, Cycle ready);
+
+    /** Returns a credit for output port @p port, VC @p vc at @p ready. */
+    void deliver_credit(Direction port, VcId vc, Cycle ready);
+
+    /**
+     * Look-ahead wake signal (Section 3.3): asks the gating policy to
+     * wake this router in the current cycle's policy phase.
+     */
+    void request_wakeup() { wake_requested_ = true; }
+
+    /**
+     * Announces that a packet head has been committed one hop upstream
+     * (or entered the NI's injection slot) and will eventually arrive.
+     * Routers with announced packets refuse to sleep.
+     */
+    void note_expected_packet() { ++expected_packets_; }
+
+    /** True if the router can receive a flit arriving at @p arrival. */
+    bool can_accept_at(Cycle arrival) const;
+
+    // ------------------------------------------------------------------
+    // Fine-grained per-port gating (params.port_gating; Matsutani [20]).
+    // The router-level FSM stays Active in this mode; each input port
+    // has its own sleep/wake state driven by FinePortGatingPolicy.
+    // ------------------------------------------------------------------
+
+    /** True if input port @p inport can take a flit arriving then. */
+    bool can_accept_port_at(Direction inport, Cycle arrival) const;
+
+    /** Announces an inbound packet for @p inport (blocks its sleep). */
+    void note_expected_packet_at(Direction inport);
+
+    /** Look-ahead wake signal addressed to one input port. */
+    void request_port_wakeup(Direction inport);
+
+    /** Power state of input port @p inport (Active when not gating). */
+    PowerState port_power_state(Direction inport) const;
+
+    /** True if @p inport may sleep (structural conditions only). */
+    bool port_can_sleep(Direction inport) const;
+
+    /** Puts @p inport to sleep / starts waking it (policy phase). */
+    void port_enter_sleep(Direction inport, Cycle now);
+    void port_begin_wakeup(Direction inport, Cycle now);
+
+    /** True if a wake signal arrived for @p inport this cycle. */
+    bool port_wake_requested(Direction inport) const;
+    void clear_port_wake_request(Direction inport);
+
+    /** Accounts one cycle of port power-state residency (all ports). */
+    void account_port_power_cycles();
+
+    // ------------------------------------------------------------------
+    // Power FSM (driven by the gating policy in the policy phase)
+    // ------------------------------------------------------------------
+
+    /** Current power state. */
+    PowerState power_state() const { return power_state_; }
+
+    /** Cycle at which a wake-up in progress completes. */
+    Cycle wake_done_cycle() const { return wake_done_; }
+
+    /** True if a look-ahead wake signal arrived this cycle. */
+    bool wake_requested() const { return wake_requested_; }
+
+    /** Clears the wake-request flag (policy phase). */
+    void clear_wake_request() { wake_requested_ = false; }
+
+    /**
+     * True when the router satisfies every structural condition for
+     * sleeping: Active, buffers empty for >= t_idle_detect cycles, no
+     * in-flight arrivals, no announced packets, and no packet holding a
+     * VC mid-stream. The gating policy adds its own conditions on top
+     * (e.g. Catnap's RCS check).
+     */
+    bool can_sleep() const;
+
+    /** Transitions Active -> Sleep (policy phase). */
+    void enter_sleep(Cycle now);
+
+    /** Starts Sleep -> Wakeup -> Active; no-op unless sleeping. */
+    void begin_wakeup(Cycle now);
+
+    /** Accounts one cycle of residency in the current power state. */
+    void account_power_cycle();
+
+    /**
+     * Folds an in-progress sleep period into the CSC counter without
+     * waking the router (call at the end of a measurement interval so
+     * still-sleeping routers are credited for their sleep so far).
+     */
+    void flush_sleep_accounting(Cycle now);
+
+    /** Same, for the per-port sleep periods of fine-grained gating. */
+    void flush_port_sleep_accounting(Cycle now);
+
+    // ------------------------------------------------------------------
+    // Observability (congestion metrics, tests, power model)
+    // ------------------------------------------------------------------
+
+    /** Flits buffered across all VCs of input port @p p. */
+    int port_occupancy(Direction p) const;
+
+    /** Maximum port occupancy over all input ports (the BFM metric). */
+    int max_port_occupancy() const;
+
+    /** Mean port occupancy over all input ports (the BFA metric). */
+    double avg_port_occupancy() const;
+
+    /** Total flits buffered in the router. */
+    int total_occupancy() const;
+
+    /** True if every input buffer is empty. */
+    bool buffers_empty() const;
+
+    /** Consecutive cycles (up to now) with all buffers empty. */
+    int idle_streak() const { return idle_streak_; }
+
+    /** Cumulative cycles head flits spent blocked (Delay metric input). */
+    std::uint64_t head_block_cycles() const { return head_block_cycles_; }
+
+    /** Cumulative flits that won switch allocation (Delay metric input). */
+    std::uint64_t switched_flits() const { return switched_flits_; }
+
+    /** Activity counters for the power model. */
+    const ActivityCounters &activity() const { return activity_; }
+
+    /** Mutable activity counters (NI contributions, resets). */
+    ActivityCounters &activity() { return activity_; }
+
+    /** Node this router serves. */
+    NodeId node() const { return node_; }
+
+    /** Subnet this router belongs to. */
+    SubnetId subnet() const { return subnet_; }
+
+    /** Credits available on output port @p p, VC @p vc (tests). */
+    int output_credits(Direction p, VcId vc) const;
+
+    /** Number of queued (not yet committed) arrivals (tests). */
+    std::size_t pending_arrivals() const { return arrivals_.size(); }
+
+    /** Announced packets not yet arrived (tests). */
+    int expected_packets() const { return expected_packets_; }
+
+  private:
+    /** Per-input-VC packet-in-progress state. */
+    struct InputVcState
+    {
+        bool active = false;            ///< a packet holds this VC
+        Direction out_dir = Direction::kLocal; ///< its output port here
+        VcId out_vc = kInvalidVc;       ///< allocated downstream VC
+        Cycle head_since = 0;           ///< when current front became head
+    };
+
+    /** A flit in flight toward one of our input buffers. */
+    struct Arrival
+    {
+        Cycle ready;
+        Direction inport;
+        Flit flit;
+    };
+
+    /** A credit in flight toward one of our output-port counters. */
+    struct CreditEvent
+    {
+        Cycle ready;
+        Direction port;
+        VcId vc;
+    };
+
+    void run_vc_allocation(Cycle now);
+    void run_switch_allocation(Cycle now);
+    void apply_arrivals(Cycle now);
+    void apply_credits(Cycle now);
+
+    RingFifo<Flit> &vc_fifo(int port, int vc) { return fifos_[fifo_index(port, vc)]; }
+    const RingFifo<Flit> &vc_fifo(int port, int vc) const
+    {
+        return fifos_[fifo_index(port, vc)];
+    }
+    std::size_t
+    fifo_index(int port, int vc) const
+    {
+        return static_cast<std::size_t>(port * params_.num_vcs + vc);
+    }
+
+    NodeId node_;
+    SubnetId subnet_;
+    const SubnetParams &params_;
+    const ConcentratedMesh &mesh_;
+
+    std::array<Router *, kNumPorts> neighbors_{};
+    LocalPortClient *local_client_ = nullptr;
+
+    /** Input buffers: [port][vc] flattened. */
+    std::vector<RingFifo<Flit>> fifos_;
+    std::vector<InputVcState> vc_state_; // same indexing as fifos_
+
+    /** Output-side bookkeeping: [port][vc] flattened. */
+    std::vector<std::int64_t> out_owner_; // packet id + 1, 0 == free
+    std::vector<int> out_credits_;
+
+    /** Round-robin pointers: per output port for VA, per input/output for SA. */
+    std::vector<int> va_rr_;          // per output port, over port*vc slots
+    std::vector<int> sa_input_rr_;    // per input port, over vcs
+    std::vector<int> sa_output_rr_;   // per output port, over input ports
+
+    std::vector<Arrival> arrivals_;
+    std::vector<CreditEvent> credit_events_;
+
+    /** Per-input-port power FSM (fine-grained gating mode only). */
+    struct PortPower
+    {
+        PowerState state = PowerState::kActive;
+        Cycle wake_done = 0;
+        Cycle sleep_start = 0;
+        std::int64_t csc_credited = 0;
+        std::int64_t net_credited = 0;
+        int idle_streak = 0;
+        int expected = 0;
+        bool wake_requested = false;
+    };
+
+    // Power / gating state
+    PowerState power_state_ = PowerState::kActive;
+    Cycle wake_done_ = 0;
+    Cycle sleep_start_ = 0;
+    /** CSC / net savings already credited for the open sleep period by
+     * flush_sleep_accounting(), so later flushes and the final wake-up
+     * only add deltas. */
+    std::int64_t csc_credited_ = 0;
+    std::int64_t net_credited_ = 0;
+    bool wake_requested_ = false;
+    int expected_packets_ = 0;
+    int idle_streak_ = 0;
+
+    int total_buffered_ = 0;
+
+    std::array<PortPower, kNumPorts> port_power_{};
+
+    // Delay-metric instrumentation
+    std::uint64_t head_block_cycles_ = 0;
+    std::uint64_t switched_flits_ = 0;
+
+    ActivityCounters activity_;
+};
+
+} // namespace catnap
+
+#endif // CATNAP_NOC_ROUTER_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic dimension-ordered (X-Y) routing with look-ahead route
+ * computation (Section 2.1; [12]).
+ */
+#ifndef CATNAP_NOC_ROUTING_H
+#define CATNAP_NOC_ROUTING_H
+
+#include "common/types.h"
+#include "topology/topology.h"
+
+namespace catnap {
+
+/**
+ * Output port a flit at node @p cur must take to reach @p dst using X-Y
+ * (dimension-ordered) routing: traverse the X dimension fully, then Y,
+ * then eject locally. On a plain mesh the permitted turn set contains
+ * no cycles, so the routing is deadlock free by itself; on a torus the
+ * shorter way around each ring is taken and the ring cycles are broken
+ * by dateline VCs (see Router).
+ */
+inline Direction
+xy_route(const ConcentratedMesh &mesh, NodeId cur, NodeId dst)
+{
+    const Coord c = mesh.coord(cur);
+    const Coord d = mesh.coord(dst);
+    if (!mesh.is_torus()) {
+        if (d.x > c.x) return Direction::kEast;
+        if (d.x < c.x) return Direction::kWest;
+        if (d.y > c.y) return Direction::kSouth;
+        if (d.y < c.y) return Direction::kNorth;
+        return Direction::kLocal;
+    }
+    // Torus: minimal direction per ring; exact ties go East/South so
+    // the choice is deterministic.
+    if (c.x != d.x) {
+        const int fwd = (d.x - c.x + mesh.width()) % mesh.width();
+        return fwd <= mesh.width() - fwd ? Direction::kEast
+                                         : Direction::kWest;
+    }
+    if (c.y != d.y) {
+        const int fwd = (d.y - c.y + mesh.height()) % mesh.height();
+        return fwd <= mesh.height() - fwd ? Direction::kSouth
+                                          : Direction::kNorth;
+    }
+    return Direction::kLocal;
+}
+
+/** True if @p a and @p b travel the same dimension (X or Y). */
+constexpr bool
+same_dimension(Direction a, Direction b)
+{
+    const auto is_x = [](Direction d) {
+        return d == Direction::kEast || d == Direction::kWest;
+    };
+    const auto is_y = [](Direction d) {
+        return d == Direction::kNorth || d == Direction::kSouth;
+    };
+    return (is_x(a) && is_x(b)) || (is_y(a) && is_y(b));
+}
+
+} // namespace catnap
+
+#endif // CATNAP_NOC_ROUTING_H

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Per-component energy/leakage model in the spirit of Orion 2 [18]
+ * (Section 4.2), with the corrections the paper applies: register-based
+ * circular-queue FIFOs (not SRAM arrays) and matrix crossbars.
+ *
+ * The model is parametric in datapath width and supply voltage:
+ *
+ *  - dynamic energy per event scales with the bits moved and V^2;
+ *    crossbar energy per flit grows quadratically with width (wire
+ *    length grows with width), which is the paper's core argument for
+ *    why several narrow routers beat one wide router dynamically;
+ *  - leakage is dominated by buffers (total buffer bits are constant
+ *    across bandwidth-equivalent designs, Section 2.3), making static
+ *    power nearly equal for Single-NoC and Multi-NoC (~25 W), exactly
+ *    as the paper reports.
+ *
+ * Absolute coefficients are calibrated against the wattages the paper
+ * reports (see DESIGN.md section 6); relative scaling across widths and
+ * voltages is structural.
+ */
+#ifndef CATNAP_POWER_ENERGY_MODEL_H
+#define CATNAP_POWER_ENERGY_MODEL_H
+
+#include "common/types.h"
+
+namespace catnap {
+
+/** Power split by network component, in watts (Figure 7's categories). */
+struct PowerBreakdown
+{
+    double buffer = 0.0;
+    double crossbar = 0.0;
+    double control = 0.0;
+    double clock = 0.0;
+    double link = 0.0;
+    double ni = 0.0;
+    double or_net = 0.0; ///< the 1-bit regional OR network
+
+    double
+    total() const
+    {
+        return buffer + crossbar + control + clock + link + ni + or_net;
+    }
+
+    /** Adds @p o component-wise. */
+    void
+    add(const PowerBreakdown &o)
+    {
+        buffer += o.buffer;
+        crossbar += o.crossbar;
+        control += o.control;
+        clock += o.clock;
+        link += o.link;
+        ni += o.ni;
+        or_net += o.or_net;
+    }
+
+    /** Scales every component by @p k. */
+    void
+    scale(double k)
+    {
+        buffer *= k;
+        crossbar *= k;
+        control *= k;
+        clock *= k;
+        link *= k;
+        ni *= k;
+        or_net *= k;
+    }
+};
+
+/**
+ * Energy/leakage coefficients for routers of one datapath width at one
+ * supply voltage.
+ */
+class EnergyModel
+{
+  public:
+    /** Network clock frequency (Table 1: 2 GHz routers). */
+    static constexpr double kFrequencyGhz = 2.0;
+
+    /**
+     * Builds the model.
+     *
+     * @param width_bits per-subnet datapath width
+     * @param vdd supply voltage (dynamic energy scales with (V/Vref)^2)
+     * @param num_vcs VCs per port
+     * @param vc_depth buffer depth per VC in flits
+     * @param multi_layout true for Multi-NoC layouts, which pay the ~12%
+     *        link-length penalty from routing subnets past each other
+     *        (Section 5.2)
+     */
+    EnergyModel(int width_bits, double vdd, int num_vcs, int vc_depth,
+                bool multi_layout);
+
+    // -- Dynamic energy per event, joules ---------------------------------
+    double e_buffer_write() const { return e_buf_write_; }
+    double e_buffer_read() const { return e_buf_read_; }
+    double e_crossbar() const { return e_xbar_; }
+    double e_link() const { return e_link_; }
+    double e_arb() const { return e_arb_; }
+    double e_ni_flit() const { return e_ni_; }
+    /** Clock-tree energy per active router cycle. */
+    double e_clock_cycle() const { return e_clk_cycle_; }
+    /** Control/clock idle toggling per active cycle (small). */
+    double e_ctrl_cycle() const { return e_ctrl_cycle_; }
+    /** OR-network switching energy (paper SPICE: 8.7 pJ). */
+    double e_or_switch() const { return 8.7e-12; }
+
+    // -- Leakage power per router, watts ----------------------------------
+    double leak_buffer() const { return l_buf_; }
+    double leak_crossbar() const { return l_xbar_; }
+    double leak_control() const { return l_ctrl_; }
+    double leak_clock() const { return l_clk_; }
+    double leak_link() const { return l_link_; }
+    /** Per-node NI leakage (shared across subnets; never gated). */
+    double leak_ni_node() const { return l_ni_node_; }
+
+    /** Total leakage of one router including its links, watts. */
+    double
+    leak_router_total() const
+    {
+        return l_buf_ + l_xbar_ + l_ctrl_ + l_clk_ + l_link_;
+    }
+
+    int width_bits() const { return width_bits_; }
+    double vdd() const { return vdd_; }
+
+    /**
+     * Analytic power for one router at a given per-port load factor,
+     * reproducing the paper's Figure 7 methodology (load factor 0.5,
+     * switching factor folded into the coefficients).
+     *
+     * @param load_factor flits per port per cycle (0..1)
+     * @return breakdown of one router's power including its NI share
+     */
+    PowerBreakdown analytic_router_power(double load_factor) const;
+
+  private:
+    int width_bits_;
+    double vdd_;
+    bool multi_layout_;
+
+    double e_buf_write_;
+    double e_buf_read_;
+    double e_xbar_;
+    double e_link_;
+    double e_arb_;
+    double e_ni_;
+    double e_clk_cycle_;
+    double e_ctrl_cycle_;
+
+    double l_buf_;
+    double l_xbar_;
+    double l_ctrl_;
+    double l_clk_;
+    double l_link_;
+    double l_ni_node_;
+};
+
+} // namespace catnap
+
+#endif // CATNAP_POWER_ENERGY_MODEL_H

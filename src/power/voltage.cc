@@ -1,0 +1,51 @@
+#include "power/voltage.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace catnap {
+
+double
+VoltageModel::delay_ns(int width_bits)
+{
+    CATNAP_ASSERT(width_bits > 0, "width must be positive");
+    return kD0 + kD1 * static_cast<double>(width_bits);
+}
+
+double
+VoltageModel::speed_factor(double vdd)
+{
+    CATNAP_ASSERT(vdd > kVth, "vdd must exceed the threshold voltage");
+    const auto speed = [](double v) {
+        return std::pow(v - kVth, kAlpha) / v;
+    };
+    return speed(vdd) / speed(kVref);
+}
+
+double
+VoltageModel::max_frequency_ghz(int width_bits, double vdd)
+{
+    return speed_factor(vdd) / delay_ns(width_bits);
+}
+
+double
+VoltageModel::min_voltage_for(int width_bits, double f_ghz)
+{
+    if (max_frequency_ghz(width_bits, kVref) < f_ghz)
+        return kVref;
+    if (max_frequency_ghz(width_bits, kVmin) >= f_ghz)
+        return kVmin;
+    double lo = kVmin;
+    double hi = kVref;
+    for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (max_frequency_ghz(width_bits, mid) >= f_ghz)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+} // namespace catnap

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Voltage/frequency/datapath-width model (Section 5.2, Table 2).
+ *
+ * The paper synthesized the arbitration + matrix-crossbar stages at 32 nm
+ * and found the crossbar dominates the router critical path at widths of
+ * 256 bits and above, so narrower routers reach the same frequency at a
+ * lower supply voltage. We reproduce the four (width, f, V) points of
+ * Table 2 with a two-part analytic model:
+ *
+ *  - critical-path delay grows affinely with datapath width:
+ *        delay(w) = d0 + d1 * w          (at the 0.750 V reference)
+ *  - supply voltage scales delay by the alpha-power law:
+ *        speed(V) = (V - Vth)^alpha / V,  normalized to speed(0.750) = 1
+ *
+ * Fitted constants reproduce Table 2 to within ~1.5 %.
+ */
+#ifndef CATNAP_POWER_VOLTAGE_H
+#define CATNAP_POWER_VOLTAGE_H
+
+namespace catnap {
+
+/** See file comment. All frequencies in GHz, voltages in volts. */
+class VoltageModel
+{
+  public:
+    /** Reference (maximum) supply voltage. */
+    static constexpr double kVref = 0.750;
+
+    /** Minimum practical supply voltage for this design point. */
+    static constexpr double kVmin = 0.550;
+
+    /** Threshold voltage of the 32 nm process. */
+    static constexpr double kVth = 0.350;
+
+    /** Alpha-power-law velocity-saturation exponent. */
+    static constexpr double kAlpha = 1.45;
+
+    /** Critical-path delay at kVref, in nanoseconds. */
+    static double delay_ns(int width_bits);
+
+    /** Relative circuit speed at @p vdd, normalized to 1.0 at kVref. */
+    static double speed_factor(double vdd);
+
+    /** Maximum clock frequency of a @p width_bits router at @p vdd. */
+    static double max_frequency_ghz(int width_bits, double vdd);
+
+    /**
+     * Lowest supply voltage (within [kVmin, kVref]) at which a
+     * @p width_bits router meets @p f_ghz; returns kVref if even the
+     * reference voltage cannot meet it (the design is then operated at
+     * kVref and the frequency target is infeasible).
+     */
+    static double min_voltage_for(int width_bits, double f_ghz);
+
+  private:
+    // Affine delay fit through Table 2's 0.750 V rows:
+    //   512 b -> 2.0 GHz (0.500 ns), 128 b -> 2.9 GHz (0.345 ns).
+    static constexpr double kD0 = 0.293103;    // ns
+    static constexpr double kD1 = 4.04095e-4;  // ns per bit
+};
+
+} // namespace catnap
+
+#endif // CATNAP_POWER_VOLTAGE_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * CSV export of experiment results, for plotting the figures outside
+ * the terminal (gnuplot / pandas / spreadsheets).
+ *
+ * Each writer emits one header row followed by one row per result; the
+ * column sets are stable and documented here so downstream scripts can
+ * rely on them.
+ */
+#ifndef CATNAP_SIM_REPORT_H
+#define CATNAP_SIM_REPORT_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "app/system.h"
+#include "sim/simulator.h"
+
+namespace catnap {
+
+/**
+ * Writes synthetic-run results as CSV.
+ *
+ * Columns: config, load, offered, accepted, avg_latency, net_latency,
+ * p50_latency, p99_latency, csc_percent, vdd, power_total, power_static,
+ * power_buffer, power_crossbar, power_control, power_clock, power_link,
+ * power_ni, power_ornet, measured_packets
+ */
+void write_csv(std::ostream &os, const std::vector<SyntheticResult> &rows);
+
+/**
+ * Writes application-workload results as CSV.
+ *
+ * Columns: config, workload, ipc, avg_latency, csc_percent, vdd,
+ * power_total, power_static
+ */
+void write_csv(std::ostream &os, const std::vector<AppRunResult> &rows);
+
+/** Writes either row type to @p path; fatal on I/O failure. */
+void save_csv(const std::string &path,
+              const std::vector<SyntheticResult> &rows);
+void save_csv(const std::string &path,
+              const std::vector<AppRunResult> &rows);
+
+} // namespace catnap
+
+#endif // CATNAP_SIM_REPORT_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Experiment harness: runs a MultiNoc under synthetic traffic with
+ * warm-up / measurement / drain phases and returns the metrics the
+ * paper's figures report (latency, throughput, CSC, power).
+ */
+#ifndef CATNAP_SIM_SIMULATOR_H
+#define CATNAP_SIM_SIMULATOR_H
+
+#include <string>
+
+#include "noc/multinoc.h"
+#include "power/power_meter.h"
+#include "traffic/synthetic.h"
+
+namespace catnap {
+
+/** Phase lengths for a synthetic run. */
+struct RunParams
+{
+    Cycle warmup = 2000;
+    Cycle measure = 10000;
+    /** Max drain cycles after measurement (latency-tail collection). */
+    Cycle drain_max = 20000;
+
+    /**
+     * If true (the paper's configuration), routers run at the lowest
+     * voltage that meets 2 GHz for their width (Table 2); otherwise all
+     * designs use the 0.750 V reference voltage.
+     */
+    bool voltage_scaling = true;
+
+    std::uint64_t seed = 12345;
+};
+
+/** Results of one synthetic run. */
+struct SyntheticResult
+{
+    std::string config_label;
+    double offered_load = 0.0;   ///< requested packets/node/cycle
+    double offered_rate = 0.0;   ///< measured generation rate
+    double accepted_rate = 0.0;  ///< measured ejection rate (throughput)
+    double avg_latency = 0.0;    ///< creation -> tail ejection, cycles
+    double avg_net_latency = 0.0;///< injection -> tail ejection, cycles
+    double p50_latency = 0.0;    ///< median latency, cycles
+    double p99_latency = 0.0;    ///< 99th-percentile latency, cycles
+    double csc_percent = 0.0;    ///< compensated sleep cycles, % of time
+    double vdd = 0.0;            ///< supply voltage used
+    PowerBreakdown power;        ///< network power over the window, watts
+    PowerBreakdown power_static; ///< static-only portion
+    std::uint64_t measured_packets = 0;
+};
+
+/** Supply voltage a config runs at under @p params' scaling rule. */
+double config_vdd(const MultiNocConfig &cfg, const RunParams &params);
+
+/**
+ * Runs @p net_cfg under @p traffic for the phases in @p params.
+ * Deterministic for fixed seeds.
+ */
+SyntheticResult run_synthetic(const MultiNocConfig &net_cfg,
+                              const SyntheticConfig &traffic,
+                              const RunParams &params);
+
+/**
+ * Sweeps offered load over @p loads and returns one result per point.
+ */
+std::vector<SyntheticResult>
+sweep_load(const MultiNocConfig &net_cfg, SyntheticConfig traffic,
+           const RunParams &params, const std::vector<double> &loads);
+
+} // namespace catnap
+
+#endif // CATNAP_SIM_SIMULATOR_H

@@ -1,0 +1,107 @@
+#include "topology/topology.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace catnap {
+
+ConcentratedMesh::ConcentratedMesh(int width, int height, int concentration,
+                                   int region_width, bool torus)
+    : width_(width), height_(height), concentration_(concentration),
+      region_width_(region_width), torus_(torus)
+{
+    CATNAP_ASSERT(width > 0 && height > 0, "mesh dimensions must be positive");
+    CATNAP_ASSERT(concentration > 0, "concentration must be positive");
+    CATNAP_ASSERT(region_width > 0 && width % region_width == 0 &&
+                  height % region_width == 0,
+                  "region width ", region_width,
+                  " must evenly divide mesh ", width, "x", height);
+
+    region_nodes_.resize(static_cast<std::size_t>(num_regions()));
+    for (NodeId n = 0; n < num_nodes(); ++n)
+        region_nodes_[static_cast<std::size_t>(region_of(n))].push_back(n);
+}
+
+NodeId
+ConcentratedMesh::neighbor(NodeId n, Direction d) const
+{
+    Coord c = coord(n);
+    switch (d) {
+      case Direction::kNorth: c.y -= 1; break;
+      case Direction::kSouth: c.y += 1; break;
+      case Direction::kEast:  c.x += 1; break;
+      case Direction::kWest:  c.x -= 1; break;
+      case Direction::kLocal: return kInvalidNode;
+    }
+    if (torus_) {
+        c.x = (c.x + width_) % width_;
+        c.y = (c.y + height_) % height_;
+        return node_at(c);
+    }
+    return in_bounds(c) ? node_at(c) : kInvalidNode;
+}
+
+bool
+ConcentratedMesh::link_wraps(NodeId n, Direction d) const
+{
+    if (!torus_)
+        return false;
+    const Coord c = coord(n);
+    switch (d) {
+      case Direction::kNorth: return c.y == 0;
+      case Direction::kSouth: return c.y == height_ - 1;
+      case Direction::kEast:  return c.x == width_ - 1;
+      case Direction::kWest:  return c.x == 0;
+      case Direction::kLocal: return false;
+    }
+    return false;
+}
+
+int
+ConcentratedMesh::region_of(NodeId n) const
+{
+    const Coord c = coord(n);
+    const int regions_per_row = width_ / region_width_;
+    return (c.y / region_width_) * regions_per_row + (c.x / region_width_);
+}
+
+const std::vector<NodeId> &
+ConcentratedMesh::nodes_in_region(int region) const
+{
+    return region_nodes_[static_cast<std::size_t>(region)];
+}
+
+int
+ConcentratedMesh::hop_distance(NodeId a, NodeId b) const
+{
+    const Coord ca = coord(a);
+    const Coord cb = coord(b);
+    int dx = std::abs(ca.x - cb.x);
+    int dy = std::abs(ca.y - cb.y);
+    if (torus_) {
+        dx = std::min(dx, width_ - dx);
+        dy = std::min(dy, height_ - dy);
+    }
+    return dx + dy;
+}
+
+double
+ConcentratedMesh::average_hop_distance() const
+{
+    const int n = num_nodes();
+    long long total = 0;
+    long long pairs = 0;
+    for (NodeId a = 0; a < n; ++a) {
+        for (NodeId b = 0; b < n; ++b) {
+            if (a == b) continue;
+            total += hop_distance(a, b);
+            ++pairs;
+        }
+    }
+    return pairs ? static_cast<double>(total) / static_cast<double>(pairs)
+                 : 0.0;
+}
+
+} // namespace catnap

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Concentrated 2-D mesh topology: node coordinates, neighbour lookup,
+ * tile-to-node concentration, and region partitioning for the RCS
+ * OR-network (Section 3.2.1 of the paper).
+ *
+ * The paper's primary configuration is an 8x8 concentrated mesh with four
+ * tiles (cores) per node (256 cores); the 64-core study uses a 4x4
+ * concentrated mesh (Section 6.6).
+ */
+#ifndef CATNAP_TOPOLOGY_TOPOLOGY_H
+#define CATNAP_TOPOLOGY_TOPOLOGY_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace catnap {
+
+/** (x, y) router coordinate within the mesh grid. */
+struct Coord
+{
+    int x = 0;
+    int y = 0;
+
+    friend bool operator==(const Coord &, const Coord &) = default;
+};
+
+/**
+ * A concentrated 2-D mesh (or torus) of @c width() x @c height() routers
+ * with @c concentration() tiles attached to each router through a shared
+ * NI.
+ *
+ * Node ids are row-major: id = y * width + x. Tile (core) ids are dense:
+ * core = node * concentration + slot.
+ *
+ * The torus variant (the "other topologies" direction of the paper's
+ * conclusion) adds wrap-around links on both dimensions; routing then
+ * takes the shorter way around each ring, and deadlock freedom requires
+ * dateline virtual channels (see Router).
+ */
+class ConcentratedMesh
+{
+  public:
+    /**
+     * Creates a mesh or torus.
+     *
+     * @param width mesh width in routers (> 0)
+     * @param height mesh height in routers (> 0)
+     * @param concentration tiles per router (> 0)
+     * @param region_width width/height of the square RCS regions; must
+     *        evenly divide both mesh dimensions (4 in the paper's 8x8 mesh,
+     *        yielding four 4x4 regions)
+     * @param torus adds wrap-around links on both dimensions
+     */
+    ConcentratedMesh(int width, int height, int concentration,
+                     int region_width, bool torus = false);
+
+    /** True if the topology has wrap-around links. */
+    bool is_torus() const { return torus_; }
+
+    /**
+     * True if travelling from @p n in direction @p d uses a wrap-around
+     * link (always false on a plain mesh). Wrap links are the datelines
+     * of their rings: a packet crossing one switches to the high VC of
+     * its dateline pair.
+     */
+    bool link_wraps(NodeId n, Direction d) const;
+
+    /** Mesh width in routers. */
+    int width() const { return width_; }
+
+    /** Mesh height in routers. */
+    int height() const { return height_; }
+
+    /** Tiles per router. */
+    int concentration() const { return concentration_; }
+
+    /** Total number of router nodes. */
+    int num_nodes() const { return width_ * height_; }
+
+    /** Total number of tiles (cores). */
+    int num_cores() const { return num_nodes() * concentration_; }
+
+    /** Side length of one RCS region in routers. */
+    int region_width() const { return region_width_; }
+
+    /** Number of RCS regions. */
+    int
+    num_regions() const
+    {
+        return (width_ / region_width_) * (height_ / region_width_);
+    }
+
+    /** Coordinate of node @p n. */
+    Coord
+    coord(NodeId n) const
+    {
+        return {static_cast<int>(n) % width_, static_cast<int>(n) / width_};
+    }
+
+    /** Node id at coordinate @p c. */
+    NodeId
+    node_at(Coord c) const
+    {
+        return static_cast<NodeId>(c.y * width_ + c.x);
+    }
+
+    /** True if @p c lies inside the grid. */
+    bool
+    in_bounds(Coord c) const
+    {
+        return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+    }
+
+    /**
+     * Neighbour of @p n in direction @p d; kInvalidNode at a mesh edge
+     * (tori have no edges). Direction::kLocal returns kInvalidNode.
+     */
+    NodeId neighbor(NodeId n, Direction d) const;
+
+    /** Region index that node @p n belongs to. */
+    int region_of(NodeId n) const;
+
+    /** All node ids belonging to region @p region. */
+    const std::vector<NodeId> &nodes_in_region(int region) const;
+
+    /** Node that tile/core @p core attaches to. */
+    NodeId
+    node_of_core(CoreId core) const
+    {
+        return static_cast<NodeId>(core / concentration_);
+    }
+
+    /** Hop distance between two nodes (wrap-aware on a torus). */
+    int hop_distance(NodeId a, NodeId b) const;
+
+    /**
+     * Average hop distance over all ordered (src != dst) pairs; used for
+     * zero-load latency bounds in tests.
+     */
+    double average_hop_distance() const;
+
+  private:
+    int width_;
+    int height_;
+    int concentration_;
+    int region_width_;
+    bool torus_;
+    std::vector<std::vector<NodeId>> region_nodes_;
+};
+
+} // namespace catnap
+
+#endif // CATNAP_TOPOLOGY_TOPOLOGY_H

@@ -1,0 +1,135 @@
+#include "traffic/trace.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+#include "noc/multinoc.h"
+
+namespace catnap {
+
+void
+TraceRecorder::note(Cycle cycle, const PacketDesc &pkt)
+{
+    CATNAP_ASSERT(records_.empty() || records_.back().cycle <= cycle,
+                  "trace packets must be recorded in cycle order");
+    records_.push_back(TraceRecord{cycle, pkt.src, pkt.dst, pkt.mc,
+                                   pkt.size_bits});
+}
+
+void
+TraceRecorder::write(std::ostream &os) const
+{
+    os << "# catnap packet trace v1\n"
+       << "# cycle src dst class size_bits\n";
+    for (const auto &r : records_) {
+        os << r.cycle << ' ' << r.src << ' ' << r.dst << ' '
+           << static_cast<int>(r.mc) << ' ' << r.size_bits << '\n';
+    }
+}
+
+void
+TraceRecorder::save(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        CATNAP_FATAL("cannot open trace file for writing: ", path);
+    write(os);
+    if (!os)
+        CATNAP_FATAL("failed writing trace file: ", path);
+}
+
+Trace
+Trace::parse(std::istream &is)
+{
+    Trace t;
+    std::string line;
+    int lineno = 0;
+    Cycle last = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        TraceRecord r;
+        unsigned long long cycle = 0;
+        int mc = 0;
+        if (!(ls >> cycle >> r.src >> r.dst >> mc >> r.size_bits))
+            CATNAP_FATAL("malformed trace line ", lineno, ": '", line,
+                         "'");
+        r.cycle = cycle;
+        r.mc = static_cast<MessageClass>(mc);
+        if (r.size_bits <= 0 || r.src < 0 || r.dst < 0 || mc < 0 ||
+            mc >= kNumMessageClasses) {
+            CATNAP_FATAL("invalid trace record at line ", lineno, ": '",
+                         line, "'");
+        }
+        if (r.cycle < last)
+            CATNAP_FATAL("trace not sorted by cycle at line ", lineno);
+        last = r.cycle;
+        t.records_.push_back(r);
+    }
+    return t;
+}
+
+Trace
+Trace::load(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        CATNAP_FATAL("cannot open trace file: ", path);
+    return parse(is);
+}
+
+Trace
+Trace::from_records(std::vector<TraceRecord> records)
+{
+    Trace t;
+    t.records_ = std::move(records);
+    for (std::size_t i = 1; i < t.records_.size(); ++i)
+        CATNAP_ASSERT(t.records_[i - 1].cycle <= t.records_[i].cycle,
+                      "trace records must be sorted by cycle");
+    return t;
+}
+
+Cycle
+Trace::horizon() const
+{
+    return records_.empty() ? 0 : records_.back().cycle;
+}
+
+TraceTraffic::TraceTraffic(MultiNoc *net, const Trace *trace,
+                           double time_scale)
+    : net_(net), trace_(trace), time_scale_(time_scale)
+{
+    CATNAP_ASSERT(net_ && trace_, "trace traffic needs net and trace");
+    CATNAP_ASSERT(time_scale_ > 0.0, "time scale must be positive");
+}
+
+void
+TraceTraffic::step(Cycle now)
+{
+    const auto &records = trace_->records();
+    while (next_ < records.size()) {
+        const TraceRecord &r = records[next_];
+        const auto when = static_cast<Cycle>(
+            std::llround(static_cast<double>(r.cycle) * time_scale_));
+        if (when > now)
+            break;
+        CATNAP_ASSERT(r.src < net_->num_nodes() &&
+                          r.dst < net_->num_nodes(),
+                      "trace node id out of range for this topology");
+        PacketDesc pkt;
+        pkt.id = next_id_++;
+        pkt.src = r.src;
+        pkt.dst = r.dst;
+        pkt.mc = r.mc;
+        pkt.size_bits = r.size_bits;
+        pkt.created = now;
+        net_->offer_packet(pkt);
+        ++next_;
+    }
+}
+
+} // namespace catnap

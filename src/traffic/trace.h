@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Packet-trace capture and replay.
+ *
+ * The paper's methodology is trace driven: Pin-collected instruction
+ * traces feed the cycle-level simulator. Its proprietary traces are not
+ * available, but the equivalent *network-level* methodology is: any run
+ * of this simulator (synthetic or full-system) can record the packet
+ * stream it offered to the network, and the recording can be replayed
+ * later against a different network configuration. Replaying one
+ * workload against many designs removes source-side randomness from
+ * comparisons and lets users ship reproducible workloads as plain
+ * files.
+ *
+ * Format: line-oriented text, one packet per line,
+ *
+ *     cycle src dst class size_bits
+ *
+ * with '#' comment lines. Text keeps traces diffable and greppable;
+ * gzip externally if size matters.
+ */
+#ifndef CATNAP_TRAFFIC_TRACE_H
+#define CATNAP_TRAFFIC_TRACE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "noc/flit.h"
+
+namespace catnap {
+
+class MultiNoc;
+
+/** One recorded packet (identity and payload fields only). */
+struct TraceRecord
+{
+    Cycle cycle = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+    MessageClass mc = MessageClass::kRequest;
+    int size_bits = 0;
+
+    friend bool operator==(const TraceRecord &,
+                           const TraceRecord &) = default;
+};
+
+/**
+ * Accumulates packets in creation order and serializes them. Attach by
+ * simply calling note() wherever packets are generated, or use
+ * SyntheticTraffic::set_recorder().
+ */
+class TraceRecorder
+{
+  public:
+    /** Records one packet. Packets must be noted in cycle order. */
+    void note(Cycle cycle, const PacketDesc &pkt);
+
+    /** Serializes the trace (header comment + one line per packet). */
+    void write(std::ostream &os) const;
+
+    /** Convenience: writes to @p path; fatal on I/O failure. */
+    void save(const std::string &path) const;
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+/**
+ * A parsed trace. Load from a stream or file, then drive a network
+ * with TraceTraffic.
+ */
+class Trace
+{
+  public:
+    /** Parses a trace; fatal on malformed lines. */
+    static Trace parse(std::istream &is);
+
+    /** Loads from @p path; fatal on I/O failure. */
+    static Trace load(const std::string &path);
+
+    /** Builds directly from records (tests, generators). */
+    static Trace from_records(std::vector<TraceRecord> records);
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+
+    /** Cycle of the last packet (0 for an empty trace). */
+    Cycle horizon() const;
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+/**
+ * Replays a Trace into a MultiNoc. Call step() once per cycle before
+ * MultiNoc::tick(), exactly like SyntheticTraffic.
+ */
+class TraceTraffic
+{
+  public:
+    /**
+     * @param net network to drive (not owned)
+     * @param trace the workload (not owned; must outlive this)
+     * @param time_scale stretches inter-packet gaps (2.0 halves the
+     *        offered load; 0.5 doubles it). Cycle 0 packets stay at 0.
+     */
+    TraceTraffic(MultiNoc *net, const Trace *trace,
+                 double time_scale = 1.0);
+
+    /** Offers every packet scheduled for cycle @p now. */
+    void step(Cycle now);
+
+    /** True when every record has been offered. */
+    bool done() const { return next_ >= trace_->records().size(); }
+
+    /** Packets offered so far. */
+    std::uint64_t offered() const { return next_; }
+
+  private:
+    MultiNoc *net_;
+    const Trace *trace_;
+    double time_scale_;
+    std::size_t next_ = 0;
+    PacketId next_id_ = 1;
+};
+
+} // namespace catnap
+
+#endif // CATNAP_TRAFFIC_TRACE_H

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for Catnap's congestion detection (LCS metrics, RCS OR-network)
+ * and subnet-selection policies.
+ */
+#include <gtest/gtest.h>
+
+#include "catnap/congestion.h"
+#include "catnap/subnet_select.h"
+#include "noc/multinoc.h"
+#include "traffic/synthetic.h"
+
+namespace catnap {
+namespace {
+
+TEST(Congestion, DefaultThresholdsMatchPaper)
+{
+    EXPECT_DOUBLE_EQ(
+        CongestionConfig::default_threshold(CongestionMetric::kBufferMax),
+        9.0);
+    EXPECT_DOUBLE_EQ(
+        CongestionConfig::default_threshold(CongestionMetric::kBufferAvg),
+        2.0);
+    EXPECT_DOUBLE_EQ(
+        CongestionConfig::default_threshold(CongestionMetric::kInjQueueOcc),
+        4.0);
+    EXPECT_DOUBLE_EQ(
+        CongestionConfig::default_threshold(
+            CongestionMetric::kBlockingDelay),
+        1.5);
+}
+
+TEST(Congestion, IdleNetworkIsUncongested)
+{
+    MultiNoc net(multi_noc_config(4));
+    net.run(100);
+    for (SubnetId s = 0; s < 4; ++s) {
+        for (NodeId n = 0; n < net.num_nodes(); ++n) {
+            EXPECT_FALSE(net.congestion().lcs(n, s));
+            EXPECT_FALSE(net.congestion().congested(n, s));
+        }
+    }
+}
+
+TEST(Congestion, SaturationAssertsLcsSomewhere)
+{
+    MultiNoc net(multi_noc_config(1)); // one 512-bit subnet
+    SyntheticConfig traffic;
+    traffic.load = 0.6;
+    SyntheticTraffic gen(&net, traffic, 5);
+    for (Cycle c = 0; c < 2000; ++c) {
+        gen.step(net.now());
+        net.tick();
+    }
+    int congested_nodes = 0;
+    for (NodeId n = 0; n < net.num_nodes(); ++n)
+        congested_nodes += net.congestion().lcs(n, 0);
+    EXPECT_GT(congested_nodes, 8);
+}
+
+TEST(Congestion, RcsAggregatesOverRegion)
+{
+    // RCS must set for every node in a region when any member node's LCS
+    // is set, and stay clear in regions with no congestion. We drive one
+    // region (top-left 4x4) with heavy local traffic.
+    MultiNocConfig cfg = multi_noc_config(1);
+    MultiNoc net(cfg);
+    SyntheticConfig traffic;
+    traffic.load = 0.0;
+    SyntheticTraffic gen(&net, traffic, 5);
+    PacketId id = 1;
+    for (Cycle c = 0; c < 1200; ++c) {
+        // All nodes of region 0 hammer node 0.
+        for (NodeId n : net.mesh().nodes_in_region(0)) {
+            if (n == 0)
+                continue;
+            PacketDesc pkt;
+            pkt.id = id++;
+            pkt.src = n;
+            pkt.dst = 0;
+            pkt.size_bits = 512;
+            pkt.created = net.now();
+            net.offer_packet(pkt);
+        }
+        gen.step(net.now());
+        net.tick();
+    }
+    // Region 0 must be congested; the far region (3) must not be.
+    const NodeId in_region0 = net.mesh().nodes_in_region(0).back();
+    const NodeId in_region3 = net.mesh().nodes_in_region(3).back();
+    EXPECT_TRUE(net.congestion().rcs(in_region0, 0));
+    EXPECT_FALSE(net.congestion().rcs(in_region3, 0));
+    // Every node of region 0 sees the same latched bit.
+    for (NodeId n : net.mesh().nodes_in_region(0))
+        EXPECT_TRUE(net.congestion().rcs(n, 0));
+}
+
+TEST(Congestion, RcsLatchesOnPeriodBoundariesOnly)
+{
+    MultiNoc net(multi_noc_config(4));
+    const auto before = net.congestion().rcs_latch_events();
+    net.run(60);
+    const auto after = net.congestion().rcs_latch_events();
+    EXPECT_EQ(after - before, 10u); // every 6 cycles
+}
+
+TEST(Congestion, LcsHysteresisHolds)
+{
+    // Once set, LCS stays set for at least lcs_hold cycles even if the
+    // metric drops. Build a one-node scenario through the real network:
+    // congest node 0's router, stop traffic, check persistence.
+    MultiNocConfig cfg = multi_noc_config(1);
+    cfg.congestion.lcs_hold = 50;
+    MultiNoc net(cfg);
+    PacketId id = 1;
+    // Hammer node 0 from its neighbours to fill its buffers. The burst
+    // is short enough that the ejection port (1 flit/cycle) drains the
+    // backlog well within the observation window below.
+    for (Cycle c = 0; c < 50; ++c) {
+        for (NodeId n : {1, 8, 2, 9, 16}) {
+            PacketDesc pkt;
+            pkt.id = id++;
+            pkt.src = n;
+            pkt.dst = 0;
+            pkt.size_bits = 2048; // 4-flit packets on 512b links
+            pkt.created = net.now();
+            net.offer_packet(pkt);
+        }
+        net.tick();
+    }
+    ASSERT_TRUE(net.congestion().lcs(0, 0));
+    // Drain and observe: the bit must persist for ~lcs_hold cycles after
+    // occupancy drops below threshold, then clear.
+    Cycle cleared_at = kNoCycle;
+    Cycle below_at = kNoCycle;
+    for (int i = 0; i < 10000; ++i) {
+        net.tick();
+        if (below_at == kNoCycle &&
+            net.router(0, 0).max_port_occupancy() <= 9) {
+            below_at = net.now();
+        }
+        if (cleared_at == kNoCycle && !net.congestion().lcs(0, 0)) {
+            cleared_at = net.now();
+            break;
+        }
+    }
+    ASSERT_NE(below_at, kNoCycle);
+    ASSERT_NE(cleared_at, kNoCycle);
+    EXPECT_GE(cleared_at, below_at);
+}
+
+TEST(Selector, RoundRobinCycles)
+{
+    RoundRobinSelector sel(4, 3);
+    PacketDesc pkt;
+    std::vector<bool> free{true, true, true};
+    EXPECT_EQ(sel.select(0, pkt, free, 0, 0), 0);
+    EXPECT_EQ(sel.select(0, pkt, free, 0, 1), 1);
+    EXPECT_EQ(sel.select(0, pkt, free, 0, 2), 2);
+    EXPECT_EQ(sel.select(0, pkt, free, 0, 3), 0);
+    // Per-node state is independent.
+    EXPECT_EQ(sel.select(1, pkt, free, 0, 4), 0);
+}
+
+TEST(Selector, RoundRobinSkipsBusySlots)
+{
+    RoundRobinSelector sel(1, 3);
+    PacketDesc pkt;
+    std::vector<bool> free{false, true, false};
+    EXPECT_EQ(sel.select(0, pkt, free, 0, 0), 1);
+    free = {false, false, false};
+    EXPECT_EQ(sel.select(0, pkt, free, 0, 1), -1);
+}
+
+TEST(Selector, RandomPicksOnlyFreeSlots)
+{
+    RandomSelector sel(4, Rng(7));
+    PacketDesc pkt;
+    std::vector<bool> free{false, true, false, true};
+    for (int i = 0; i < 200; ++i) {
+        const SubnetId s = sel.select(0, pkt, free, 0, 0);
+        EXPECT_TRUE(s == 1 || s == 3);
+    }
+}
+
+TEST(Selector, CatnapPrefersLowestUncongested)
+{
+    auto share0 = [](double load) {
+        MultiNoc net(multi_noc_config(4, GatingKind::kAlwaysOn,
+                                      SelectorKind::kCatnap));
+        SyntheticConfig traffic;
+        traffic.load = load;
+        SyntheticTraffic gen(&net, traffic, 23);
+        for (Cycle c = 0; c < 3000; ++c) {
+            gen.step(net.now());
+            net.tick();
+        }
+        const auto &m = net.metrics();
+        return static_cast<double>(m.injected_flits_in_subnet(0)) /
+               static_cast<double>(m.injected_flits());
+    };
+    // At very low load essentially everything rides subnet 0; at 0.05 a
+    // small fraction spills when a packet arrives while subnet 0's
+    // injection port is still streaming the previous one.
+    EXPECT_GT(share0(0.01), 0.96);
+    EXPECT_GT(share0(0.05), 0.80);
+}
+
+TEST(Selector, CatnapSpillsToHigherSubnetsUnderLoad)
+{
+    MultiNoc net(multi_noc_config(4, GatingKind::kAlwaysOn,
+                                  SelectorKind::kCatnap));
+    SyntheticConfig traffic;
+    traffic.load = 0.35;
+    SyntheticTraffic gen(&net, traffic, 23);
+    for (Cycle c = 0; c < 4000; ++c) {
+        gen.step(net.now());
+        net.tick();
+    }
+    const auto &m = net.metrics();
+    // All four subnets must carry meaningful traffic at this load.
+    for (SubnetId s = 0; s < 4; ++s) {
+        EXPECT_GT(m.injected_flits_in_subnet(s), 2000u) << "subnet " << s;
+    }
+    // And priority ordering keeps subnet 0 at least as used as subnet 3.
+    EXPECT_GE(m.injected_flits_in_subnet(0),
+              m.injected_flits_in_subnet(3));
+}
+
+TEST(Selector, RoundRobinSpreadsEvenlyAtLowLoad)
+{
+    MultiNoc net(multi_noc_config(4, GatingKind::kAlwaysOn,
+                                  SelectorKind::kRoundRobin));
+    SyntheticConfig traffic;
+    traffic.load = 0.05;
+    SyntheticTraffic gen(&net, traffic, 23);
+    for (Cycle c = 0; c < 3000; ++c) {
+        gen.step(net.now());
+        net.tick();
+    }
+    const auto &m = net.metrics();
+    const double total = static_cast<double>(m.injected_flits());
+    for (SubnetId s = 0; s < 4; ++s) {
+        const double share =
+            static_cast<double>(m.injected_flits_in_subnet(s)) / total;
+        EXPECT_NEAR(share, 0.25, 0.05) << "subnet " << s;
+    }
+}
+
+TEST(Selector, MetricNames)
+{
+    EXPECT_STREQ(congestion_metric_name(CongestionMetric::kBufferMax),
+                 "BFM");
+    EXPECT_STREQ(selector_kind_name(SelectorKind::kCatnap), "Catnap");
+    EXPECT_STREQ(gating_kind_name(GatingKind::kCatnap), "CatnapGate");
+}
+
+} // namespace
+} // namespace catnap

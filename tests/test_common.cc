@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for common utilities: RNG determinism and distribution
+ * sanity, running statistics, histograms, windowed series, and the
+ * ring-buffer FIFO.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "noc/buffer.h"
+
+namespace catnap {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next_u64() == b.next_u64());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedIsUsable)
+{
+    Rng r(0);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 100; ++i)
+        seen.insert(r.next_u64());
+    EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, NextBelowIsUnbiased)
+{
+    Rng r(99);
+    std::vector<int> counts(10, 0);
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        ++counts[r.next_below(10)];
+    for (int c : counts) {
+        EXPECT_NEAR(c, trials / 10, trials / 10 * 0.1);
+    }
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng r(5);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        hits += r.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdges)
+{
+    Rng r(5);
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-0.5));
+    EXPECT_TRUE(r.bernoulli(1.5));
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng r(11);
+    const double p = 0.2;
+    double sum = 0;
+    const int trials = 50000;
+    for (int i = 0; i < trials; ++i)
+        sum += static_cast<double>(r.geometric(p));
+    // Mean of failures-before-success geometric is (1-p)/p = 4.
+    EXPECT_NEAR(sum / trials, 4.0, 0.2);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded)
+{
+    Rng root(3);
+    Rng a = root.split();
+    Rng b = root.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next_u64() == b.next_u64());
+    EXPECT_LT(same, 2);
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 5u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_NEAR(s.variance(), 2.0, 1e-12);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10.0, 5);
+    h.add(0.0);
+    h.add(9.99);
+    h.add(10.0);
+    h.add(49.9);
+    h.add(1000.0); // overflow bucket
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.bucket(5), 1u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, QuantileMonotone)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+    EXPECT_NEAR(h.quantile(0.5), 51.0, 2.0);
+    EXPECT_NEAR(h.quantile(0.99), 100.0, 2.0);
+}
+
+TEST(WindowedSeries, ClosesWindowsOnRoll)
+{
+    WindowedSeries w(50);
+    w.add(0, 1.0);
+    w.add(49, 2.0);
+    w.add(50, 5.0);  // second window
+    w.add(149, 1.0); // third window
+    w.roll_to(200);
+    ASSERT_EQ(w.samples().size(), 4u);
+    EXPECT_DOUBLE_EQ(w.samples()[0], 3.0);
+    EXPECT_DOUBLE_EQ(w.samples()[1], 5.0);
+    EXPECT_DOUBLE_EQ(w.samples()[2], 1.0);
+    EXPECT_DOUBLE_EQ(w.samples()[3], 0.0);
+}
+
+TEST(RingFifo, FifoOrderAndCapacity)
+{
+    RingFifo<int> f(4);
+    EXPECT_TRUE(f.empty());
+    EXPECT_EQ(f.free_slots(), 4u);
+    for (int i = 0; i < 4; ++i)
+        f.push(i);
+    EXPECT_TRUE(f.full());
+    EXPECT_EQ(f.at(2), 2);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(f.pop(), i);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(RingFifo, WrapsAround)
+{
+    RingFifo<int> f(3);
+    for (int round = 0; round < 10; ++round) {
+        f.push(round);
+        EXPECT_EQ(f.pop(), round);
+    }
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(RingFifo, OverflowPanics)
+{
+    RingFifo<int> f(1);
+    f.push(1);
+    EXPECT_THROW(f.push(2), std::runtime_error);
+}
+
+TEST(RingFifo, UnderflowPanics)
+{
+    RingFifo<int> f(1);
+    EXPECT_THROW(f.pop(), std::runtime_error);
+    EXPECT_THROW((void)f.front(), std::runtime_error);
+}
+
+} // namespace
+} // namespace catnap

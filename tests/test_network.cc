@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Integration tests for the NoC substrate: packet delivery and pipeline
+ * timing, flit conservation, wormhole integrity, determinism, and
+ * protocol-level behaviour across Single-NoC and Multi-NoC configs.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "noc/multinoc.h"
+#include "traffic/synthetic.h"
+
+namespace catnap {
+namespace {
+
+MultiNocConfig
+small_single_noc()
+{
+    MultiNocConfig cfg = single_noc_config(512);
+    return cfg;
+}
+
+/** Offers one packet and runs until it is delivered; returns delivery cycle. */
+Cycle
+send_one(MultiNoc &net, NodeId src, NodeId dst, int bits,
+         Cycle max_cycles = 2000)
+{
+    Cycle done = kNoCycle;
+    net.ni(dst).set_packet_sink(
+        [&](const Flit &tail, Cycle now) {
+            EXPECT_TRUE(tail.is_tail());
+            EXPECT_EQ(tail.src, src);
+            EXPECT_EQ(tail.dst, dst);
+            done = now;
+        });
+    PacketDesc pkt;
+    pkt.id = 1;
+    pkt.src = src;
+    pkt.dst = dst;
+    pkt.size_bits = bits;
+    pkt.created = net.now();
+    net.offer_packet(pkt);
+    const Cycle limit = net.now() + max_cycles;
+    while (done == kNoCycle && net.now() < limit)
+        net.tick();
+    EXPECT_NE(done, kNoCycle) << "packet was not delivered";
+    return done;
+}
+
+TEST(Network, SingleFlitZeroLoadLatencyFormula)
+{
+    // With the default pipeline (1-cycle ST + 1-cycle link, allocation in
+    // the cycle after buffer write), a single-flit packet over H hops in
+    // an idle network takes exactly 3H + 3 cycles from creation to tail
+    // ejection: 1 cycle NI injection + per-hop SA->SA of 3 cycles + final
+    // switch traversal into the NI.
+    for (const auto &[src, dst] : std::vector<std::pair<NodeId, NodeId>>{
+             {0, 1}, {0, 7}, {0, 63}, {27, 28}, {63, 0}}) {
+        MultiNoc net(small_single_noc());
+        const int hops = net.mesh().hop_distance(src, dst);
+        const Cycle done = send_one(net, src, dst, 512);
+        EXPECT_EQ(done, static_cast<Cycle>(3 * hops + 3))
+            << "src " << src << " dst " << dst;
+    }
+}
+
+TEST(Network, MultiFlitSerializationLatency)
+{
+    // A packet of F flits finishes F-1 cycles after a single-flit packet
+    // would (flits pipeline one per cycle), modulo credit-round-trip
+    // bubbles for packets longer than the VC depth.
+    MultiNoc net(multi_noc_config(4));
+    ASSERT_EQ(net.subnet_params().link_width_bits, 128);
+    const NodeId src = 0, dst = 7;
+    const int hops = 7;
+    // 512-bit packet on a 128-bit subnet = 4 flits == VC depth.
+    const Cycle done = send_one(net, src, dst, 512);
+    EXPECT_EQ(done, static_cast<Cycle>(3 * hops + 3 + (4 - 1)));
+}
+
+TEST(Network, LongPacketPaysCreditBubbles)
+{
+    MultiNoc net(multi_noc_config(4));
+    // 1024-bit packet -> 8 flits on 128-bit links; deeper than the 4-flit
+    // VC, so the NI stalls on credits; delivery still completes.
+    const Cycle done = send_one(net, 0, 7, 1024);
+    EXPECT_GE(done, static_cast<Cycle>(3 * 7 + 3 + 7));
+    EXPECT_LE(done, static_cast<Cycle>(3 * 7 + 3 + 7 + 20));
+}
+
+TEST(Network, ControlPacketFlitCounts)
+{
+    // A 72-bit control packet is a single flit on every width the paper
+    // evaluates (>= 128-bit subnets, Section 5.1); only the 64-bit
+    // subnets of the 8NT design need two.
+    for (int subnets : {1, 2, 4}) {
+        MultiNoc net(multi_noc_config(subnets));
+        const auto &ni = net.ni(0);
+        PacketDesc pkt;
+        pkt.size_bits = 72;
+        EXPECT_EQ(ni.flits_of(pkt), 1) << subnets << " subnets";
+    }
+    MultiNoc net(multi_noc_config(8));
+    PacketDesc pkt;
+    pkt.size_bits = 72;
+    EXPECT_EQ(net.ni(0).flits_of(pkt), 2);
+}
+
+TEST(Network, DataPacketFlitCounts)
+{
+    // 64-byte block + 72-bit header = 584 bits (Section 4.1).
+    MultiNoc single(single_noc_config(512));
+    MultiNoc quad(multi_noc_config(4));
+    PacketDesc pkt;
+    pkt.size_bits = 584;
+    EXPECT_EQ(single.ni(0).flits_of(pkt), 2);
+    EXPECT_EQ(quad.ni(0).flits_of(pkt), 5);
+}
+
+TEST(Network, AllPairsDelivery)
+{
+    // Every (src, dst) pair on a smaller mesh delivers exactly once.
+    MultiNocConfig cfg = multi_noc_config(2);
+    cfg.mesh_width = 4;
+    cfg.mesh_height = 4;
+    cfg.region_width = 2;
+    MultiNoc net(cfg);
+
+    int delivered = 0;
+    for (NodeId n = 0; n < net.num_nodes(); ++n) {
+        net.ni(n).set_packet_sink(
+            [&](const Flit &, Cycle) { ++delivered; });
+    }
+    PacketId id = 1;
+    int offered = 0;
+    for (NodeId s = 0; s < net.num_nodes(); ++s) {
+        for (NodeId d = 0; d < net.num_nodes(); ++d) {
+            if (s == d)
+                continue;
+            PacketDesc pkt;
+            pkt.id = id++;
+            pkt.src = s;
+            pkt.dst = d;
+            pkt.size_bits = 512;
+            pkt.created = net.now();
+            net.offer_packet(pkt);
+            ++offered;
+        }
+    }
+    for (int i = 0; i < 20000 && !net.quiescent(); ++i)
+        net.tick();
+    EXPECT_TRUE(net.quiescent());
+    EXPECT_EQ(delivered, offered);
+}
+
+TEST(Network, FlitConservationUnderLoad)
+{
+    MultiNoc net(multi_noc_config(4));
+    SyntheticConfig traffic;
+    traffic.load = 0.08;
+    SyntheticTraffic gen(&net, traffic, 7);
+    for (Cycle c = 0; c < 5000; ++c) {
+        gen.step(net.now());
+        net.tick();
+    }
+    // Drain.
+    for (int i = 0; i < 30000 && !net.quiescent(); ++i)
+        net.tick();
+    ASSERT_TRUE(net.quiescent());
+    const auto &m = net.metrics();
+    EXPECT_EQ(m.offered_packets(), m.ejected_packets());
+    EXPECT_EQ(m.offered_flits(), m.ejected_flits());
+    EXPECT_GT(m.offered_packets(), 10000u);
+}
+
+TEST(Network, DeterministicAcrossRuns)
+{
+    auto run = [](std::uint64_t seed) {
+        MultiNocConfig cfg = multi_noc_config(4, GatingKind::kCatnap);
+        cfg.seed = seed;
+        MultiNoc net(cfg);
+        SyntheticConfig traffic;
+        traffic.load = 0.1;
+        SyntheticTraffic gen(&net, traffic, seed);
+        for (Cycle c = 0; c < 3000; ++c) {
+            gen.step(net.now());
+            net.tick();
+        }
+        return std::tuple(net.metrics().ejected_packets(),
+                          net.metrics().total_latency().mean(),
+                          net.total_activity().buffer_writes,
+                          net.total_activity().sleep_transitions);
+    };
+    EXPECT_EQ(run(11), run(11));
+    EXPECT_NE(std::get<0>(run(11)), std::get<0>(run(12)));
+}
+
+TEST(Network, LoopbackPacketsNeverEnterNetwork)
+{
+    MultiNoc net(small_single_noc());
+    Cycle done = kNoCycle;
+    net.ni(5).set_packet_sink(
+        [&](const Flit &tail, Cycle now) {
+            EXPECT_EQ(tail.src, 5);
+            EXPECT_EQ(tail.dst, 5);
+            done = now;
+        });
+    PacketDesc pkt;
+    pkt.id = 9;
+    pkt.src = 5;
+    pkt.dst = 5;
+    pkt.size_bits = 512;
+    pkt.created = 0;
+    net.offer_packet(pkt);
+    for (int i = 0; i < 20; ++i)
+        net.tick();
+    EXPECT_NE(done, kNoCycle);
+    EXPECT_LE(done, 6u);
+    EXPECT_EQ(net.total_activity().buffer_writes, 0u);
+}
+
+TEST(Network, HeavyLoadDoesNotDeadlock)
+{
+    // Saturating uniform-random load: the network must keep delivering
+    // (wormhole + VC flow control + X-Y routing is deadlock free).
+    MultiNoc net(multi_noc_config(4));
+    SyntheticConfig traffic;
+    traffic.load = 0.6; // way past saturation
+    SyntheticTraffic gen(&net, traffic, 3);
+    std::uint64_t last_ejected = 0;
+    for (int epoch = 0; epoch < 10; ++epoch) {
+        for (Cycle c = 0; c < 500; ++c) {
+            gen.step(net.now());
+            net.tick();
+        }
+        const std::uint64_t now_ejected = net.metrics().ejected_packets();
+        EXPECT_GT(now_ejected, last_ejected)
+            << "no forward progress in epoch " << epoch;
+        last_ejected = now_ejected;
+    }
+}
+
+TEST(Network, TransposeTrafficDelivers)
+{
+    MultiNoc net(multi_noc_config(4));
+    SyntheticConfig traffic;
+    traffic.pattern = PatternKind::kTranspose;
+    traffic.load = 0.05;
+    SyntheticTraffic gen(&net, traffic, 21);
+    for (Cycle c = 0; c < 3000; ++c) {
+        gen.step(net.now());
+        net.tick();
+    }
+    for (int i = 0; i < 30000 && !net.quiescent(); ++i)
+        net.tick();
+    EXPECT_TRUE(net.quiescent());
+    EXPECT_EQ(net.metrics().offered_packets(),
+              net.metrics().ejected_packets());
+}
+
+TEST(Network, MessageClassesUseDisjointVcPartitions)
+{
+    MultiNocConfig cfg = multi_noc_config(1);
+    cfg.num_classes = 4;
+    MultiNoc net(cfg);
+    // One packet per class, same route; all must be delivered.
+    int delivered = 0;
+    net.ni(3).set_packet_sink([&](const Flit &, Cycle) { ++delivered; });
+    for (int c = 0; c < 4; ++c) {
+        PacketDesc pkt;
+        pkt.id = static_cast<PacketId>(c + 1);
+        pkt.src = 0;
+        pkt.dst = 3;
+        pkt.mc = static_cast<MessageClass>(c);
+        pkt.size_bits = 512;
+        pkt.created = net.now();
+        net.offer_packet(pkt);
+    }
+    for (int i = 0; i < 200; ++i)
+        net.tick();
+    EXPECT_EQ(delivered, 4);
+}
+
+TEST(Network, HopCountMetricMatchesTopology)
+{
+    MultiNoc net(small_single_noc());
+    net.metrics().set_measurement_window(0, kNoCycle);
+    send_one(net, 0, 63, 512);
+    EXPECT_DOUBLE_EQ(net.metrics().hop_count().mean(), 14.0);
+}
+
+TEST(Network, QuiescentInitially)
+{
+    MultiNoc net(multi_noc_config(4));
+    EXPECT_TRUE(net.quiescent());
+    net.run(10);
+    EXPECT_TRUE(net.quiescent());
+    EXPECT_EQ(net.now(), 10u);
+}
+
+} // namespace
+} // namespace catnap

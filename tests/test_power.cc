@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the power models: the voltage/frequency model against
+ * Table 2, structural scaling properties of the energy model, and the
+ * power meter's measurement behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include "noc/multinoc.h"
+#include "power/power_meter.h"
+#include "power/voltage.h"
+#include "traffic/synthetic.h"
+
+namespace catnap {
+namespace {
+
+TEST(VoltageModel, Table2ReferenceRows)
+{
+    // 512-bit router: 2.0 GHz at 0.750 V.
+    EXPECT_NEAR(VoltageModel::max_frequency_ghz(512, 0.750), 2.0, 0.03);
+    // 512-bit router: 1.4 GHz at 0.625 V.
+    EXPECT_NEAR(VoltageModel::max_frequency_ghz(512, 0.625), 1.4, 0.03);
+    // 128-bit router: 2.9 GHz at 0.750 V.
+    EXPECT_NEAR(VoltageModel::max_frequency_ghz(128, 0.750), 2.9, 0.05);
+    // 128-bit router: 2.0 GHz at 0.625 V.
+    EXPECT_NEAR(VoltageModel::max_frequency_ghz(128, 0.625), 2.0, 0.03);
+}
+
+TEST(VoltageModel, MinVoltageInverts)
+{
+    // The highlighted Table 2 rows: the voltages the designs run at.
+    EXPECT_NEAR(VoltageModel::min_voltage_for(512, 2.0), 0.750, 0.01);
+    EXPECT_NEAR(VoltageModel::min_voltage_for(128, 2.0), 0.625, 0.01);
+    // Narrower routers can go even lower; wider cannot meet 2 GHz.
+    EXPECT_LT(VoltageModel::min_voltage_for(64, 2.0),
+              VoltageModel::min_voltage_for(128, 2.0));
+    EXPECT_DOUBLE_EQ(VoltageModel::min_voltage_for(1024, 2.0),
+                     VoltageModel::kVref);
+}
+
+TEST(VoltageModel, FrequencyMonotoneInVoltageAndWidth)
+{
+    for (double v = 0.56; v < 0.75; v += 0.02) {
+        EXPECT_LT(VoltageModel::max_frequency_ghz(512, v),
+                  VoltageModel::max_frequency_ghz(512, v + 0.02));
+        EXPECT_LT(VoltageModel::max_frequency_ghz(512, v),
+                  VoltageModel::max_frequency_ghz(128, v));
+    }
+}
+
+TEST(EnergyModel, DynamicEnergyScalesWithVoltageSquared)
+{
+    const EnergyModel hi(128, 0.750, 4, 4, true);
+    const EnergyModel lo(128, 0.625, 4, 4, true);
+    const double k = (0.625 * 0.625) / (0.750 * 0.750);
+    EXPECT_NEAR(lo.e_buffer_write(), hi.e_buffer_write() * k, 1e-18);
+    EXPECT_NEAR(lo.e_crossbar(), hi.e_crossbar() * k, 1e-18);
+    EXPECT_NEAR(lo.e_link(), hi.e_link() * k, 1e-18);
+}
+
+TEST(EnergyModel, CrossbarScalesQuadratically)
+{
+    const EnergyModel wide(512, 0.750, 4, 4, false);
+    const EnergyModel narrow(128, 0.750, 4, 4, false);
+    EXPECT_NEAR(wide.e_crossbar() / narrow.e_crossbar(), 16.0, 1e-6);
+    EXPECT_NEAR(wide.e_buffer_write() / narrow.e_buffer_write(), 4.0,
+                1e-6);
+    EXPECT_NEAR(wide.leak_crossbar() / narrow.leak_crossbar(), 16.0, 1e-6);
+}
+
+TEST(EnergyModel, MultiLayoutPaysLinkPenalty)
+{
+    const EnergyModel single(128, 0.750, 4, 4, false);
+    const EnergyModel multi(128, 0.750, 4, 4, true);
+    EXPECT_NEAR(multi.e_link() / single.e_link(), 1.12, 1e-6);
+    EXPECT_NEAR(multi.leak_link() / single.leak_link(), 1.12, 1e-6);
+    EXPECT_DOUBLE_EQ(multi.e_crossbar(), single.e_crossbar());
+}
+
+TEST(EnergyModel, StaticPowerNearlyEqualAcrossDesigns)
+{
+    // Section 6.2: static power of bandwidth-equivalent Single-NoC and
+    // Multi-NoC is about the same (~25 W) without power gating.
+    const EnergyModel single(512, 0.750, 4, 4, false);
+    const EnergyModel multi(128, 0.625, 4, 4, true);
+    const double s = 64.0 * single.leak_router_total() +
+                     64.0 * single.leak_ni_node();
+    const double m = 4.0 * 64.0 * multi.leak_router_total() +
+                     64.0 * multi.leak_ni_node();
+    EXPECT_NEAR(s, 25.0, 1.5);
+    EXPECT_NEAR(m, 25.0, 1.5);
+    EXPECT_NEAR(m / s, 1.0, 0.06);
+}
+
+TEST(EnergyModel, ControlIsSmallFractionOfRouterPower)
+{
+    // Section 5.2: control logic is < 4% of total router power.
+    const EnergyModel m(512, 0.750, 4, 4, false);
+    const PowerBreakdown p = m.analytic_router_power(0.5);
+    EXPECT_LT(p.control / p.total(), 0.04);
+}
+
+TEST(AnalyticPower, Figure7Shape)
+{
+    // Figure 7: at near saturation, a bandwidth-equivalent Multi-NoC at
+    // the same voltage is no worse than Single-NoC, and voltage scaling
+    // makes it clearly better.
+    const PowerBreakdown single =
+        analytic_network_power(64, 1, 512, 0.750, 4, 4, 0.5);
+    const PowerBreakdown multi_hi =
+        analytic_network_power(64, 4, 128, 0.750, 4, 4, 0.5);
+    const PowerBreakdown multi_lo =
+        analytic_network_power(64, 4, 128, 0.625, 4, 4, 0.5);
+    EXPECT_GT(single.total(), 55.0);
+    EXPECT_LT(single.total(), 85.0);
+    EXPECT_LE(multi_hi.total(), single.total() * 1.02);
+    EXPECT_LT(multi_lo.total(), multi_hi.total() * 0.85);
+    // Crossbar power collapses for the narrow design.
+    EXPECT_LT(multi_hi.crossbar, single.crossbar * 0.5);
+}
+
+TEST(PowerMeter, IdleGatedNetworkApproachesNiLeakageFloor)
+{
+    // A fully gated idle Single-NoC should burn little beyond the
+    // ungated NI leakage.
+    MultiNoc net(single_noc_config(512, GatingKind::kIdle));
+    PowerMeter meter(net, 0.750);
+    net.run(100); // let routers fall asleep
+    meter.begin();
+    net.run(5000);
+    net.finalize_accounting();
+    const PowerBreakdown p = meter.report();
+    const EnergyModel &m = meter.model();
+    const double floor = m.leak_ni_node() * 64.0;
+    EXPECT_LT(p.total(), floor + 3.0);
+    EXPECT_GT(p.total(), floor * 0.9);
+}
+
+TEST(PowerMeter, UngatedIdleNetworkBurnsLeakagePlusClockIdle)
+{
+    MultiNoc net(single_noc_config(512, GatingKind::kAlwaysOn));
+    PowerMeter meter(net, 0.750);
+    meter.begin();
+    net.run(2000);
+    // Static is the calibrated ~25 W; the only dynamic left is the
+    // per-active-cycle clock/control toggle of the 64 ungated routers.
+    EXPECT_NEAR(meter.report_static().total(), 25.0, 1.5);
+    const PowerBreakdown d = meter.report_dynamic();
+    const double idle_toggle = 64.0 *
+        (meter.model().e_clock_cycle() + meter.model().e_ctrl_cycle()) *
+        EnergyModel::kFrequencyGhz * 1e9;
+    EXPECT_NEAR(d.total(), idle_toggle, 0.1);
+    EXPECT_LT(d.total(), 4.0);
+}
+
+TEST(PowerMeter, DynamicPowerGrowsWithLoad)
+{
+    auto dyn_at = [](double load) {
+        MultiNoc net(multi_noc_config(4));
+        SyntheticConfig traffic;
+        traffic.load = load;
+        SyntheticTraffic gen(&net, traffic, 9);
+        PowerMeter meter(net, 0.625);
+        meter.begin();
+        for (Cycle c = 0; c < 3000; ++c) {
+            gen.step(net.now());
+            net.tick();
+        }
+        return meter.report_dynamic().total();
+    };
+    const double lo = dyn_at(0.02);
+    const double mid = dyn_at(0.10);
+    const double hi = dyn_at(0.25);
+    EXPECT_LT(lo, mid);
+    EXPECT_LT(mid, hi);
+}
+
+TEST(PowerMeter, StaticPlusDynamicEqualsTotal)
+{
+    MultiNoc net(multi_noc_config(4, GatingKind::kCatnap));
+    SyntheticConfig traffic;
+    traffic.load = 0.05;
+    SyntheticTraffic gen(&net, traffic, 9);
+    PowerMeter meter(net, 0.625);
+    meter.begin();
+    for (Cycle c = 0; c < 2000; ++c) {
+        gen.step(net.now());
+        net.tick();
+    }
+    net.finalize_accounting();
+    const double total = meter.report().total();
+    const double split = meter.report_dynamic().total() +
+                         meter.report_static().total();
+    EXPECT_NEAR(total, split, 1e-9);
+}
+
+TEST(PowerMeter, CscPercentInRange)
+{
+    MultiNoc net(multi_noc_config(4, GatingKind::kCatnap));
+    SyntheticConfig traffic;
+    traffic.load = 0.02;
+    SyntheticTraffic gen(&net, traffic, 9);
+    PowerMeter meter(net, 0.625);
+    net.run(100);
+    meter.begin();
+    for (Cycle c = 0; c < 4000; ++c) {
+        gen.step(net.now());
+        net.tick();
+    }
+    net.finalize_accounting();
+    const double csc = meter.csc_percent();
+    EXPECT_GT(csc, 40.0); // three of four subnets mostly asleep
+    EXPECT_LE(csc, 75.0); // subnet 0 can never sleep
+}
+
+} // namespace
+} // namespace catnap

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Property-based tests: invariants that must hold across the whole
+ * configuration space, swept with parameterized gtest. Each property is
+ * checked over combinations of subnet count, traffic pattern, offered
+ * load, gating, and selection policy.
+ */
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "noc/multinoc.h"
+#include "sim/simulator.h"
+#include "traffic/synthetic.h"
+
+namespace catnap {
+namespace {
+
+// ---------------------------------------------------------------------
+// Property: conservation. Everything offered is eventually delivered,
+// exactly once, for every (subnets, pattern, load, gating) combination.
+// ---------------------------------------------------------------------
+
+using ConsParam = std::tuple<int, PatternKind, double, GatingKind>;
+
+class ConservationProperty : public ::testing::TestWithParam<ConsParam>
+{
+};
+
+TEST_P(ConservationProperty, OfferedEqualsDelivered)
+{
+    const auto [subnets, pattern, load, gating] = GetParam();
+    MultiNocConfig cfg = multi_noc_config(subnets, gating);
+    cfg.mesh_width = 4;
+    cfg.mesh_height = 4;
+    cfg.region_width = 2;
+    MultiNoc net(cfg);
+    SyntheticConfig traffic;
+    traffic.pattern = pattern;
+    traffic.load = load;
+    SyntheticTraffic gen(&net, traffic, 1234);
+    for (Cycle c = 0; c < 1500; ++c) {
+        gen.step(net.now());
+        net.tick();
+    }
+    for (int i = 0; i < 60000 && !net.quiescent(); ++i)
+        net.tick();
+    ASSERT_TRUE(net.quiescent()) << "network failed to drain";
+    EXPECT_EQ(net.metrics().offered_packets(),
+              net.metrics().ejected_packets());
+    EXPECT_EQ(net.metrics().offered_flits(),
+              net.metrics().ejected_flits());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConservationProperty,
+    ::testing::Combine(
+        ::testing::Values(1, 2, 4),
+        ::testing::Values(PatternKind::kUniformRandom,
+                          PatternKind::kTranspose,
+                          PatternKind::kHotspot),
+        ::testing::Values(0.05, 0.35),
+        ::testing::Values(GatingKind::kAlwaysOn, GatingKind::kCatnap)),
+    [](const ::testing::TestParamInfo<ConsParam> &info) {
+        return std::to_string(std::get<0>(info.param)) + "NT_" +
+               pattern_kind_name(std::get<1>(info.param)) + "_" +
+               (std::get<2>(info.param) < 0.2 ? "low" : "high") + "_" +
+               gating_kind_name(std::get<3>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Property: latency is bounded below by the zero-load pipeline formula
+// and CSC / throughput metrics stay in their valid ranges.
+// ---------------------------------------------------------------------
+
+using MetricParam = std::tuple<int, double>;
+
+class MetricRangeProperty : public ::testing::TestWithParam<MetricParam>
+{
+};
+
+TEST_P(MetricRangeProperty, RangesHold)
+{
+    const auto [subnets, load] = GetParam();
+    MultiNocConfig cfg = multi_noc_config(subnets, GatingKind::kCatnap);
+    SyntheticConfig traffic;
+    traffic.load = load;
+    RunParams rp;
+    rp.warmup = 500;
+    rp.measure = 2500;
+    rp.drain_max = 4000;
+    const SyntheticResult r = run_synthetic(cfg, traffic, rp);
+
+    // Accepted rate can never exceed what was offered in steady state
+    // (small measurement jitter allowed for backlog drain).
+    EXPECT_LE(r.accepted_rate, r.offered_rate * 1.15 + 0.01);
+
+    // Latency at least the minimum pipeline latency for one hop.
+    if (r.measured_packets > 0) {
+        EXPECT_GE(r.avg_latency, 6.0);
+    }
+
+    // CSC is a percentage of gateable router-cycles; subnet 0 never
+    // gates under Catnap, so the ceiling is (subnets-1)/subnets.
+    EXPECT_GE(r.csc_percent, 0.0);
+    EXPECT_LE(r.csc_percent,
+              100.0 * (subnets - 1) / static_cast<double>(subnets) + 1.0);
+
+    // Power is at least the ungateable floor (NI leakage) and no more
+    // than a loose ceiling for a 512-bit-aggregate network.
+    EXPECT_GT(r.power.total(), 1.0);
+    EXPECT_LT(r.power.total(), 90.0);
+
+    // Voltage scaling picked a legal point.
+    EXPECT_GE(r.vdd, 0.55);
+    EXPECT_LE(r.vdd, 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MetricRangeProperty,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(0.02, 0.10, 0.30)),
+    [](const ::testing::TestParamInfo<MetricParam> &info) {
+        return std::to_string(std::get<0>(info.param)) + "NT_load" +
+               std::to_string(static_cast<int>(
+                   std::get<1>(info.param) * 100));
+    });
+
+// ---------------------------------------------------------------------
+// Property: monotonicity of gating opportunity. For the Catnap design,
+// CSC must not increase with offered load.
+// ---------------------------------------------------------------------
+
+TEST(MonotonicityProperty, CscFallsWithLoad)
+{
+    RunParams rp;
+    rp.warmup = 500;
+    rp.measure = 3000;
+    rp.drain_max = 1000;
+    SyntheticConfig traffic;
+    double last = 101.0;
+    for (double load : {0.01, 0.05, 0.12, 0.25}) {
+        traffic.load = load;
+        const auto r = run_synthetic(
+            multi_noc_config(4, GatingKind::kCatnap), traffic, rp);
+        EXPECT_LE(r.csc_percent, last + 3.0)
+            << "CSC rose with load at " << load;
+        last = r.csc_percent;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property: determinism across every policy combination.
+// ---------------------------------------------------------------------
+
+using DetParam = std::tuple<SelectorKind, GatingKind>;
+
+class DeterminismProperty : public ::testing::TestWithParam<DetParam>
+{
+};
+
+TEST_P(DeterminismProperty, TwoRunsIdentical)
+{
+    const auto [selector, gating] = GetParam();
+    auto run = [&] {
+        MultiNocConfig cfg = multi_noc_config(4, gating, selector);
+        cfg.mesh_width = 4;
+        cfg.mesh_height = 4;
+        cfg.region_width = 2;
+        cfg.seed = 99;
+        MultiNoc net(cfg);
+        SyntheticConfig traffic;
+        traffic.load = 0.15;
+        SyntheticTraffic gen(&net, traffic, 42);
+        for (Cycle c = 0; c < 1200; ++c) {
+            gen.step(net.now());
+            net.tick();
+        }
+        const auto a = net.total_activity();
+        return std::tuple(net.metrics().ejected_packets(),
+                          a.buffer_writes, a.sleep_transitions,
+                          a.compensated_sleep_cycles,
+                          net.metrics().total_latency().mean());
+    };
+    EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DeterminismProperty,
+    ::testing::Combine(::testing::Values(SelectorKind::kRoundRobin,
+                                         SelectorKind::kRandom,
+                                         SelectorKind::kCatnap),
+                       ::testing::Values(GatingKind::kAlwaysOn,
+                                         GatingKind::kIdle,
+                                         GatingKind::kCatnap)),
+    [](const ::testing::TestParamInfo<DetParam> &info) {
+        return std::string(selector_kind_name(std::get<0>(info.param))) +
+               "_" + gating_kind_name(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Property: every congestion metric keeps the network functional (all
+// packets delivered) even if its quality differs.
+// ---------------------------------------------------------------------
+
+class MetricFunctionalProperty
+    : public ::testing::TestWithParam<CongestionMetric>
+{
+};
+
+TEST_P(MetricFunctionalProperty, DeliversUnderLoad)
+{
+    MultiNocConfig cfg = multi_noc_config(4, GatingKind::kCatnap);
+    cfg.mesh_width = 4;
+    cfg.mesh_height = 4;
+    cfg.region_width = 2;
+    cfg.congestion.metric = GetParam();
+    cfg.congestion.threshold =
+        CongestionConfig::default_threshold(GetParam());
+    MultiNoc net(cfg);
+    SyntheticConfig traffic;
+    traffic.load = 0.25;
+    SyntheticTraffic gen(&net, traffic, 7);
+    for (Cycle c = 0; c < 1500; ++c) {
+        gen.step(net.now());
+        net.tick();
+    }
+    for (int i = 0; i < 60000 && !net.quiescent(); ++i)
+        net.tick();
+    ASSERT_TRUE(net.quiescent());
+    EXPECT_EQ(net.metrics().offered_packets(),
+              net.metrics().ejected_packets());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MetricFunctionalProperty,
+    ::testing::Values(CongestionMetric::kBufferMax,
+                      CongestionMetric::kBufferAvg,
+                      CongestionMetric::kInjectionRate,
+                      CongestionMetric::kInjQueueOcc,
+                      CongestionMetric::kBlockingDelay),
+    [](const ::testing::TestParamInfo<CongestionMetric> &info) {
+        return congestion_metric_name(info.param);
+    });
+
+// ---------------------------------------------------------------------
+// Property: traffic patterns produce valid destinations and, for the
+// deterministic permutations, stable mappings.
+// ---------------------------------------------------------------------
+
+class PatternProperty : public ::testing::TestWithParam<PatternKind>
+{
+};
+
+TEST_P(PatternProperty, DestinationsValid)
+{
+    ConcentratedMesh mesh(8, 8, 4, 4);
+    auto pattern = make_pattern(GetParam(), mesh, Rng(5));
+    for (NodeId src = 0; src < mesh.num_nodes(); ++src) {
+        for (int i = 0; i < 50; ++i) {
+            const NodeId dst = pattern->destination(src);
+            ASSERT_GE(dst, 0);
+            ASSERT_LT(dst, mesh.num_nodes());
+            ASSERT_NE(dst, src);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PatternProperty,
+    ::testing::Values(PatternKind::kUniformRandom, PatternKind::kTranspose,
+                      PatternKind::kBitComplement, PatternKind::kBitReverse,
+                      PatternKind::kShuffle, PatternKind::kHotspot,
+                      PatternKind::kNeighbor),
+    [](const ::testing::TestParamInfo<PatternKind> &info) {
+        return pattern_kind_name(info.param);
+    });
+
+TEST(PatternStat, UniformRandomIsRoughlyUniform)
+{
+    ConcentratedMesh mesh(8, 8, 4, 4);
+    auto pattern = make_pattern(PatternKind::kUniformRandom, mesh, Rng(5));
+    std::vector<int> counts(static_cast<std::size_t>(mesh.num_nodes()), 0);
+    const int trials = 63000;
+    for (int i = 0; i < trials; ++i)
+        ++counts[static_cast<std::size_t>(pattern->destination(0))];
+    // Destination 0 (the source) never occurs; others get ~1000 each.
+    EXPECT_EQ(counts[0], 0);
+    for (NodeId d = 1; d < mesh.num_nodes(); ++d)
+        EXPECT_NEAR(counts[static_cast<std::size_t>(d)], 1000, 150);
+}
+
+TEST(PatternStat, TransposeIsInvolution)
+{
+    ConcentratedMesh mesh(8, 8, 4, 4);
+    auto pattern = make_pattern(PatternKind::kTranspose, mesh, Rng(5));
+    for (NodeId src = 0; src < mesh.num_nodes(); ++src) {
+        const NodeId d = pattern->destination(src);
+        const Coord cs = mesh.coord(src);
+        const Coord cd = mesh.coord(d);
+        if (cs.x != cs.y) {
+            EXPECT_EQ(cd.x, cs.y);
+            EXPECT_EQ(cd.y, cs.x);
+        }
+    }
+}
+
+TEST(PatternStat, HotspotConcentratesTraffic)
+{
+    ConcentratedMesh mesh(8, 8, 4, 4);
+    const NodeId hotspot = 27;
+    auto pattern =
+        make_pattern(PatternKind::kHotspot, mesh, Rng(5), hotspot);
+    int to_hotspot = 0;
+    const int trials = 10000;
+    for (int i = 0; i < trials; ++i)
+        to_hotspot += pattern->destination(0) == hotspot;
+    EXPECT_NEAR(static_cast<double>(to_hotspot) / trials, 0.25, 0.03);
+}
+
+} // namespace
+} // namespace catnap

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the concentrated mesh topology and X-Y routing.
+ */
+#include <gtest/gtest.h>
+
+#include "noc/routing.h"
+#include "topology/topology.h"
+
+namespace catnap {
+namespace {
+
+TEST(Topology, DimensionsAndCounts)
+{
+    ConcentratedMesh m(8, 8, 4, 4);
+    EXPECT_EQ(m.num_nodes(), 64);
+    EXPECT_EQ(m.num_cores(), 256);
+    EXPECT_EQ(m.num_regions(), 4);
+    EXPECT_EQ(m.concentration(), 4);
+}
+
+TEST(Topology, CoordRoundTrip)
+{
+    ConcentratedMesh m(8, 8, 4, 4);
+    for (NodeId n = 0; n < m.num_nodes(); ++n) {
+        EXPECT_EQ(m.node_at(m.coord(n)), n);
+    }
+    EXPECT_EQ(m.coord(0).x, 0);
+    EXPECT_EQ(m.coord(0).y, 0);
+    EXPECT_EQ(m.coord(63).x, 7);
+    EXPECT_EQ(m.coord(63).y, 7);
+}
+
+TEST(Topology, NeighborsAndEdges)
+{
+    ConcentratedMesh m(8, 8, 4, 4);
+    // Corner (0,0).
+    EXPECT_EQ(m.neighbor(0, Direction::kNorth), kInvalidNode);
+    EXPECT_EQ(m.neighbor(0, Direction::kWest), kInvalidNode);
+    EXPECT_EQ(m.neighbor(0, Direction::kEast), 1);
+    EXPECT_EQ(m.neighbor(0, Direction::kSouth), 8);
+    // Interior node (3,3) == 27.
+    EXPECT_EQ(m.neighbor(27, Direction::kNorth), 19);
+    EXPECT_EQ(m.neighbor(27, Direction::kSouth), 35);
+    EXPECT_EQ(m.neighbor(27, Direction::kEast), 28);
+    EXPECT_EQ(m.neighbor(27, Direction::kWest), 26);
+    // Local has no neighbour.
+    EXPECT_EQ(m.neighbor(27, Direction::kLocal), kInvalidNode);
+}
+
+TEST(Topology, NeighborSymmetry)
+{
+    ConcentratedMesh m(8, 8, 4, 4);
+    for (NodeId n = 0; n < m.num_nodes(); ++n) {
+        for (int p = 1; p < kNumPorts; ++p) {
+            const Direction d = direction_from_index(p);
+            const NodeId o = m.neighbor(n, d);
+            if (o != kInvalidNode) {
+                EXPECT_EQ(m.neighbor(o, opposite(d)), n);
+            }
+        }
+    }
+}
+
+TEST(Topology, RegionsPartitionNodes)
+{
+    ConcentratedMesh m(8, 8, 4, 4);
+    int total = 0;
+    for (int r = 0; r < m.num_regions(); ++r) {
+        const auto &nodes = m.nodes_in_region(r);
+        EXPECT_EQ(nodes.size(), 16u); // 4x4 regions
+        total += static_cast<int>(nodes.size());
+        for (NodeId n : nodes)
+            EXPECT_EQ(m.region_of(n), r);
+    }
+    EXPECT_EQ(total, m.num_nodes());
+}
+
+TEST(Topology, RegionOfCorners)
+{
+    ConcentratedMesh m(8, 8, 4, 4);
+    EXPECT_EQ(m.region_of(m.node_at({0, 0})), 0);
+    EXPECT_EQ(m.region_of(m.node_at({7, 0})), 1);
+    EXPECT_EQ(m.region_of(m.node_at({0, 7})), 2);
+    EXPECT_EQ(m.region_of(m.node_at({7, 7})), 3);
+}
+
+TEST(Topology, CoreToNodeMapping)
+{
+    ConcentratedMesh m(8, 8, 4, 4);
+    EXPECT_EQ(m.node_of_core(0), 0);
+    EXPECT_EQ(m.node_of_core(3), 0);
+    EXPECT_EQ(m.node_of_core(4), 1);
+    EXPECT_EQ(m.node_of_core(255), 63);
+}
+
+TEST(Topology, HopDistance)
+{
+    ConcentratedMesh m(8, 8, 4, 4);
+    EXPECT_EQ(m.hop_distance(0, 0), 0);
+    EXPECT_EQ(m.hop_distance(0, 7), 7);
+    EXPECT_EQ(m.hop_distance(0, 63), 14);
+    EXPECT_EQ(m.hop_distance(27, 28), 1);
+}
+
+TEST(Topology, AverageHopDistanceMatchesClosedForm)
+{
+    // For a k x k mesh, the mean Manhattan distance over ordered pairs is
+    // 2 * (k^2 - 1) / (3k) * k^2/(k^2-1) ... simpler: verify the 8x8 value
+    // against a direct expectation: E[|dx|] over pairs with replacement is
+    // (k^2-1)/(3k) = 63/24 = 2.625 per axis -> 5.25 total over all pairs
+    // including src==dst. Excluding self pairs scales by n^2/(n^2-n).
+    ConcentratedMesh m(8, 8, 1, 4);
+    const double all_pairs = 2.0 * 63.0 / 24.0;      // 5.25
+    const double excl_self = all_pairs * (64.0 * 64.0) / (64.0 * 63.0);
+    EXPECT_NEAR(m.average_hop_distance(), excl_self, 1e-9);
+}
+
+TEST(Topology, InvalidRegionWidthRejected)
+{
+    EXPECT_THROW(ConcentratedMesh(8, 8, 4, 3), std::runtime_error);
+    EXPECT_THROW(ConcentratedMesh(0, 8, 4, 4), std::runtime_error);
+}
+
+TEST(Topology, SmallMesh64Core)
+{
+    // The 64-core configuration of Section 6.6: 4x4 cmesh.
+    ConcentratedMesh m(4, 4, 4, 2);
+    EXPECT_EQ(m.num_cores(), 64);
+    EXPECT_EQ(m.num_regions(), 4);
+}
+
+TEST(XyRouting, StraightLines)
+{
+    ConcentratedMesh m(8, 8, 4, 4);
+    EXPECT_EQ(xy_route(m, 0, 3), Direction::kEast);
+    EXPECT_EQ(xy_route(m, 3, 0), Direction::kWest);
+    EXPECT_EQ(xy_route(m, 0, 16), Direction::kSouth);
+    EXPECT_EQ(xy_route(m, 16, 0), Direction::kNorth);
+    EXPECT_EQ(xy_route(m, 5, 5), Direction::kLocal);
+}
+
+TEST(XyRouting, XBeforeY)
+{
+    ConcentratedMesh m(8, 8, 4, 4);
+    // From (0,0) to (3,5): go east first.
+    EXPECT_EQ(xy_route(m, m.node_at({0, 0}), m.node_at({3, 5})),
+              Direction::kEast);
+    // From (3,0) to (3,5): x resolved, go south.
+    EXPECT_EQ(xy_route(m, m.node_at({3, 0}), m.node_at({3, 5})),
+              Direction::kSouth);
+}
+
+TEST(XyRouting, AlwaysReachesDestination)
+{
+    ConcentratedMesh m(8, 8, 4, 4);
+    for (NodeId s = 0; s < m.num_nodes(); ++s) {
+        for (NodeId d = 0; d < m.num_nodes(); ++d) {
+            NodeId cur = s;
+            int hops = 0;
+            while (cur != d) {
+                const Direction dir = xy_route(m, cur, d);
+                ASSERT_NE(dir, Direction::kLocal);
+                cur = m.neighbor(cur, dir);
+                ASSERT_NE(cur, kInvalidNode);
+                ASSERT_LE(++hops, 14);
+            }
+            EXPECT_EQ(hops, m.hop_distance(s, d));
+        }
+    }
+}
+
+} // namespace
+} // namespace catnap

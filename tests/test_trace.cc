@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for trace capture/replay and the per-node bursty traffic source.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "noc/multinoc.h"
+#include "traffic/synthetic.h"
+#include "traffic/trace.h"
+
+namespace catnap {
+namespace {
+
+TEST(Trace, RoundTripThroughText)
+{
+    TraceRecorder rec;
+    PacketDesc pkt;
+    pkt.src = 3;
+    pkt.dst = 9;
+    pkt.mc = MessageClass::kResponseData;
+    pkt.size_bits = 584;
+    rec.note(10, pkt);
+    pkt.src = 0;
+    pkt.dst = 63;
+    pkt.mc = MessageClass::kRequest;
+    pkt.size_bits = 72;
+    rec.note(25, pkt);
+
+    std::stringstream ss;
+    rec.write(ss);
+    const Trace t = Trace::parse(ss);
+    ASSERT_EQ(t.records().size(), 2u);
+    EXPECT_EQ(t.records()[0],
+              (TraceRecord{10, 3, 9, MessageClass::kResponseData, 584}));
+    EXPECT_EQ(t.records()[1],
+              (TraceRecord{25, 0, 63, MessageClass::kRequest, 72}));
+    EXPECT_EQ(t.horizon(), 25u);
+}
+
+TEST(Trace, ParseSkipsCommentsAndBlankLines)
+{
+    std::stringstream ss("# header\n\n5 1 2 0 512\n# trailing\n");
+    const Trace t = Trace::parse(ss);
+    ASSERT_EQ(t.records().size(), 1u);
+    EXPECT_EQ(t.records()[0].cycle, 5u);
+}
+
+TEST(Trace, ParseRejectsGarbage)
+{
+    std::stringstream bad1("not a record\n");
+    EXPECT_THROW(Trace::parse(bad1), std::runtime_error);
+    std::stringstream bad2("5 1 2 9 512\n"); // class out of range
+    EXPECT_THROW(Trace::parse(bad2), std::runtime_error);
+    std::stringstream bad3("9 1 2 0 512\n5 1 2 0 512\n"); // unsorted
+    EXPECT_THROW(Trace::parse(bad3), std::runtime_error);
+}
+
+TEST(Trace, RecorderEnforcesOrder)
+{
+    TraceRecorder rec;
+    PacketDesc pkt;
+    pkt.size_bits = 512;
+    rec.note(10, pkt);
+    EXPECT_THROW(rec.note(9, pkt), std::runtime_error);
+}
+
+TEST(Trace, MissingFileIsFatal)
+{
+    EXPECT_THROW(Trace::load("/nonexistent/trace.txt"),
+                 std::runtime_error);
+}
+
+TEST(Trace, RecordedRunReplaysIdentically)
+{
+    // Record a synthetic run, replay the trace on an identical network:
+    // the delivered-packet count and flit totals must match exactly.
+    TraceRecorder rec;
+    std::uint64_t recorded_ejected = 0;
+    {
+        MultiNoc net(multi_noc_config(4, GatingKind::kCatnap));
+        SyntheticConfig traffic;
+        traffic.load = 0.08;
+        SyntheticTraffic gen(&net, traffic, 77);
+        gen.set_recorder(&rec);
+        for (Cycle c = 0; c < 2000; ++c) {
+            gen.step(net.now());
+            net.tick();
+        }
+        for (int i = 0; i < 30000 && !net.quiescent(); ++i)
+            net.tick();
+        recorded_ejected = net.metrics().ejected_packets();
+    }
+    ASSERT_GT(rec.records().size(), 5000u);
+
+    const Trace trace = Trace::from_records(rec.records());
+    MultiNoc net(multi_noc_config(4, GatingKind::kCatnap));
+    TraceTraffic replay(&net, &trace);
+    while (!replay.done() || !net.quiescent()) {
+        replay.step(net.now());
+        net.tick();
+        ASSERT_LT(net.now(), 100000u) << "replay did not drain";
+    }
+    EXPECT_EQ(net.metrics().offered_packets(), rec.records().size());
+    EXPECT_EQ(net.metrics().ejected_packets(), recorded_ejected);
+}
+
+TEST(Trace, ReplayOnDifferentConfigDelivers)
+{
+    // The point of traces: one workload, many designs.
+    TraceRecorder rec;
+    {
+        MultiNoc net(multi_noc_config(4));
+        SyntheticConfig traffic;
+        traffic.load = 0.05;
+        SyntheticTraffic gen(&net, traffic, 5);
+        gen.set_recorder(&rec);
+        for (Cycle c = 0; c < 1000; ++c) {
+            gen.step(net.now());
+            net.tick();
+        }
+    }
+    const Trace trace = Trace::from_records(rec.records());
+    for (int subnets : {1, 2}) {
+        MultiNoc net(multi_noc_config(subnets, GatingKind::kCatnap));
+        TraceTraffic replay(&net, &trace);
+        while (!replay.done() || !net.quiescent()) {
+            replay.step(net.now());
+            net.tick();
+            ASSERT_LT(net.now(), 100000u);
+        }
+        EXPECT_EQ(net.metrics().ejected_packets(), trace.records().size())
+            << subnets << " subnets";
+    }
+}
+
+TEST(Trace, TimeScaleStretchesLoad)
+{
+    std::vector<TraceRecord> recs;
+    for (Cycle c = 0; c < 100; ++c)
+        recs.push_back({c * 10, 0, 7, MessageClass::kRequest, 512});
+    const Trace trace = Trace::from_records(recs);
+
+    MultiNoc net(multi_noc_config(2));
+    TraceTraffic replay(&net, &trace, 3.0);
+    // After 1500 cycles only ~half of the stretched trace has fired.
+    for (Cycle c = 0; c < 1500; ++c) {
+        replay.step(net.now());
+        net.tick();
+    }
+    EXPECT_NEAR(static_cast<double>(replay.offered()), 50.0, 2.0);
+}
+
+TEST(BurstyTraffic, LongRunLoadMatchesAverage)
+{
+    MultiNoc net(multi_noc_config(4));
+    SyntheticConfig traffic;
+    traffic.load = 0.05;
+    traffic.node_bursts = true;
+    traffic.burst_on_fraction = 0.25;
+    traffic.burst_mean_len = 300;
+    SyntheticTraffic gen(&net, traffic, 123);
+    const Cycle horizon = 40000;
+    for (Cycle c = 0; c < horizon; ++c) {
+        gen.step(net.now());
+        net.tick();
+    }
+    const double rate = static_cast<double>(gen.generated()) /
+                        static_cast<double>(horizon) / 64.0;
+    EXPECT_NEAR(rate, 0.05, 0.006);
+}
+
+TEST(BurstyTraffic, PhasesCreateTemporalVariance)
+{
+    // Compare the variance of 100-cycle generation counts with and
+    // without bursts at the same average load: bursts must be far
+    // burstier.
+    auto window_variance = [](bool bursts) {
+        MultiNoc net(multi_noc_config(4));
+        SyntheticConfig traffic;
+        traffic.load = 0.05;
+        traffic.node_bursts = bursts;
+        traffic.burst_on_fraction = 0.2;
+        traffic.burst_mean_len = 400;
+        SyntheticTraffic gen(&net, traffic, 9);
+        RunningStat windows;
+        std::uint64_t last = 0;
+        for (Cycle c = 1; c <= 20000; ++c) {
+            gen.step(net.now());
+            net.tick();
+            if (c % 100 == 0) {
+                windows.add(static_cast<double>(gen.generated() - last));
+                last = gen.generated();
+            }
+        }
+        return windows.variance();
+    };
+    EXPECT_GT(window_variance(true), 3.0 * window_variance(false));
+}
+
+TEST(BurstyTraffic, GatingRidesTheBursts)
+{
+    // With per-node bursts at modest average load, Catnap still sleeps
+    // the higher subnets most of the time and wakes them during
+    // overlapping bursts.
+    MultiNoc net(multi_noc_config(4, GatingKind::kCatnap));
+    SyntheticConfig traffic;
+    traffic.load = 0.04;
+    traffic.node_bursts = true;
+    SyntheticTraffic gen(&net, traffic, 21);
+    for (Cycle c = 0; c < 10000; ++c) {
+        gen.step(net.now());
+        net.tick();
+    }
+    net.finalize_accounting();
+    EXPECT_GT(net.csc_percent(), 40.0);
+    EXPECT_GT(net.metrics().ejected_packets(), 10000u);
+}
+
+} // namespace
+} // namespace catnap

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * catnap_sim: command-line driver for one-off experiments.
+ *
+ * Examples:
+ *   catnap_sim --subnets 4 --gating catnap --load 0.1
+ *   catnap_sim --subnets 1 --width 512 --pattern transpose --load 0.2
+ *   catnap_sim --mode app --workload heavy --subnets 4 --gating catnap
+ *   catnap_sim --help
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "app/system.h"
+#include "sim/simulator.h"
+
+using namespace catnap;
+
+namespace {
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "catnap_sim -- drive one Catnap Multi-NoC experiment\n\n"
+        "  --mode synthetic|app      experiment type (default synthetic)\n"
+        "  --subnets N               number of subnets (default 4)\n"
+        "  --width BITS              aggregate datapath bits (default 512)\n"
+        "  --selector rr|random|catnap|class (default catnap)\n"
+        "  --gating off|idle|fineport|catnap  power gating (catnap)\n"
+        "  --metric bfm|bfa|ir|iqocc|delay  congestion metric (bfm)\n"
+        "  --threshold X             congestion threshold (metric default)\n"
+        "  --no-rcs                  disable the regional OR network\n"
+        "  --mesh W                  mesh width == height (default 8)\n"
+        "synthetic mode:\n"
+        "  --pattern uniform|transpose|bitcomp|bitrev|shuffle|hotspot|"
+        "neighbor\n"
+        "  --load X                  packets/node/cycle (default 0.1)\n"
+        "  --packet-bits N           packet size (default 512)\n"
+        "app mode:\n"
+        "  --workload light|medium-light|medium-heavy|heavy\n"
+        "common:\n"
+        "  --warmup N --measure N    phase lengths (cycles)\n"
+        "  --seed N                  RNG seed\n"
+        "  --no-vscale               run everything at 0.750 V\n");
+    std::exit(code);
+}
+
+const char *
+need_value(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        usage(2);
+    }
+    return argv[++i];
+}
+
+SelectorKind
+parse_selector(const std::string &v)
+{
+    if (v == "rr") return SelectorKind::kRoundRobin;
+    if (v == "random") return SelectorKind::kRandom;
+    if (v == "catnap") return SelectorKind::kCatnap;
+    if (v == "class") return SelectorKind::kClassPartition;
+    std::fprintf(stderr, "unknown selector: %s\n", v.c_str());
+    usage(2);
+}
+
+GatingKind
+parse_gating(const std::string &v)
+{
+    if (v == "off") return GatingKind::kAlwaysOn;
+    if (v == "idle") return GatingKind::kIdle;
+    if (v == "fineport") return GatingKind::kFinePort;
+    if (v == "catnap") return GatingKind::kCatnap;
+    std::fprintf(stderr, "unknown gating: %s\n", v.c_str());
+    usage(2);
+}
+
+CongestionMetric
+parse_metric(const std::string &v)
+{
+    if (v == "bfm") return CongestionMetric::kBufferMax;
+    if (v == "bfa") return CongestionMetric::kBufferAvg;
+    if (v == "ir") return CongestionMetric::kInjectionRate;
+    if (v == "iqocc") return CongestionMetric::kInjQueueOcc;
+    if (v == "delay") return CongestionMetric::kBlockingDelay;
+    std::fprintf(stderr, "unknown metric: %s\n", v.c_str());
+    usage(2);
+}
+
+PatternKind
+parse_pattern(const std::string &v)
+{
+    if (v == "uniform") return PatternKind::kUniformRandom;
+    if (v == "transpose") return PatternKind::kTranspose;
+    if (v == "bitcomp") return PatternKind::kBitComplement;
+    if (v == "bitrev") return PatternKind::kBitReverse;
+    if (v == "shuffle") return PatternKind::kShuffle;
+    if (v == "hotspot") return PatternKind::kHotspot;
+    if (v == "neighbor") return PatternKind::kNeighbor;
+    std::fprintf(stderr, "unknown pattern: %s\n", v.c_str());
+    usage(2);
+}
+
+WorkloadMix
+parse_workload(const std::string &v)
+{
+    if (v == "light") return light_mix();
+    if (v == "medium-light") return medium_light_mix();
+    if (v == "medium-heavy") return medium_heavy_mix();
+    if (v == "heavy") return heavy_mix();
+    std::fprintf(stderr, "unknown workload: %s\n", v.c_str());
+    usage(2);
+}
+
+void
+print_power(const PowerBreakdown &p, const PowerBreakdown &stat)
+{
+    std::printf("power        : %.2f W (static %.2f, dynamic %.2f)\n",
+                p.total(), stat.total(), p.total() - stat.total());
+    std::printf("  buffer %.2f | xbar %.2f | ctrl %.2f | clock %.2f | "
+                "link %.2f | NI %.2f | OR-net %.3f\n",
+                p.buffer, p.crossbar, p.control, p.clock, p.link, p.ni,
+                p.or_net);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string mode = "synthetic";
+    std::string workload = "light";
+    MultiNocConfig cfg = multi_noc_config(4, GatingKind::kCatnap);
+    SyntheticConfig traffic;
+    traffic.load = 0.1;
+    RunParams rp;
+    AppRunParams ap;
+    double threshold = -1.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") usage(0);
+        else if (a == "--mode") mode = need_value(argc, argv, i);
+        else if (a == "--subnets")
+            cfg.num_subnets = std::atoi(need_value(argc, argv, i));
+        else if (a == "--width")
+            cfg.total_link_bits = std::atoi(need_value(argc, argv, i));
+        else if (a == "--selector")
+            cfg.selector = parse_selector(need_value(argc, argv, i));
+        else if (a == "--gating")
+            cfg.gating = parse_gating(need_value(argc, argv, i));
+        else if (a == "--metric")
+            cfg.congestion.metric = parse_metric(need_value(argc, argv, i));
+        else if (a == "--threshold")
+            threshold = std::atof(need_value(argc, argv, i));
+        else if (a == "--no-rcs") cfg.congestion.use_rcs = false;
+        else if (a == "--mesh") {
+            const int w = std::atoi(need_value(argc, argv, i));
+            cfg.mesh_width = cfg.mesh_height = w;
+            cfg.region_width = w >= 8 ? 4 : (w >= 4 ? 2 : 1);
+        } else if (a == "--pattern")
+            traffic.pattern = parse_pattern(need_value(argc, argv, i));
+        else if (a == "--load")
+            traffic.load = std::atof(need_value(argc, argv, i));
+        else if (a == "--packet-bits")
+            traffic.packet_bits = std::atoi(need_value(argc, argv, i));
+        else if (a == "--workload")
+            workload = need_value(argc, argv, i);
+        else if (a == "--warmup")
+            rp.warmup = ap.warmup =
+                static_cast<Cycle>(std::atoll(need_value(argc, argv, i)));
+        else if (a == "--measure")
+            rp.measure = ap.measure =
+                static_cast<Cycle>(std::atoll(need_value(argc, argv, i)));
+        else if (a == "--seed")
+            rp.seed = ap.seed = static_cast<std::uint64_t>(
+                std::atoll(need_value(argc, argv, i)));
+        else if (a == "--no-vscale")
+            rp.voltage_scaling = ap.voltage_scaling = false;
+        else {
+            std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+            usage(2);
+        }
+    }
+    cfg.congestion.threshold =
+        threshold >= 0.0
+            ? threshold
+            : CongestionConfig::default_threshold(cfg.congestion.metric);
+
+    if (mode == "synthetic") {
+        const SyntheticResult r = run_synthetic(cfg, traffic, rp);
+        std::printf("config       : %s (%dx%d mesh, %s selector, %s)\n",
+                    r.config_label.c_str(), cfg.mesh_width, cfg.mesh_height,
+                    selector_kind_name(cfg.selector),
+                    gating_kind_name(cfg.gating));
+        std::printf("traffic      : %s @ %.3f pkts/node/cycle\n",
+                    pattern_kind_name(traffic.pattern), traffic.load);
+        std::printf("accepted     : %.3f pkts/node/cycle\n",
+                    r.accepted_rate);
+        std::printf("latency      : %.1f cycles (network %.1f)\n",
+                    r.avg_latency, r.avg_net_latency);
+        std::printf("CSC          : %.1f %%\n", r.csc_percent);
+        std::printf("voltage      : %.3f V\n", r.vdd);
+        print_power(r.power, r.power_static);
+    } else if (mode == "app") {
+        const WorkloadMix mix = parse_workload(workload);
+        const AppRunResult r = run_app_workload(cfg, mix, ap);
+        std::printf("config       : %s, workload %s (avg MPKI %.1f)\n",
+                    r.config_label.c_str(), mix.name.c_str(),
+                    mix.average_mpki());
+        std::printf("IPC/core     : %.3f\n", r.ipc);
+        std::printf("pkt latency  : %.1f cycles\n", r.avg_latency);
+        std::printf("CSC          : %.1f %%\n", r.csc_percent);
+        std::printf("voltage      : %.3f V\n", r.vdd);
+        print_power(r.power, r.power_static);
+    } else {
+        std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
+        usage(2);
+    }
+    return 0;
+}
