@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_class_partition.dir/abl_class_partition.cc.o"
+  "CMakeFiles/abl_class_partition.dir/abl_class_partition.cc.o.d"
+  "abl_class_partition"
+  "abl_class_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_class_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

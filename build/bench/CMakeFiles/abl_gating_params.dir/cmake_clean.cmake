@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gating_params.dir/abl_gating_params.cc.o"
+  "CMakeFiles/abl_gating_params.dir/abl_gating_params.cc.o.d"
+  "abl_gating_params"
+  "abl_gating_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gating_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_region_size.dir/abl_region_size.cc.o"
+  "CMakeFiles/abl_region_size.dir/abl_region_size.cc.o.d"
+  "abl_region_size"
+  "abl_region_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_region_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fine_gating.dir/ext_fine_gating.cc.o"
+  "CMakeFiles/ext_fine_gating.dir/ext_fine_gating.cc.o.d"
+  "ext_fine_gating"
+  "ext_fine_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fine_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_fine_gating.
+# This may be replaced when dependencies are built.

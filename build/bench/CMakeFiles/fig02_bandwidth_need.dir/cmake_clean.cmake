@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_bandwidth_need.dir/fig02_bandwidth_need.cc.o"
+  "CMakeFiles/fig02_bandwidth_need.dir/fig02_bandwidth_need.cc.o.d"
+  "fig02_bandwidth_need"
+  "fig02_bandwidth_need.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_bandwidth_need.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

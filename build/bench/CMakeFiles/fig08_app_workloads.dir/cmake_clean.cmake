@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_app_workloads.dir/fig08_app_workloads.cc.o"
+  "CMakeFiles/fig08_app_workloads.dir/fig08_app_workloads.cc.o.d"
+  "fig08_app_workloads"
+  "fig08_app_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_app_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_csc.dir/fig09_csc.cc.o"
+  "CMakeFiles/fig09_csc.dir/fig09_csc.cc.o.d"
+  "fig09_csc"
+  "fig09_csc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_csc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

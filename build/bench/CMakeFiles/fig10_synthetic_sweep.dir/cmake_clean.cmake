@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_synthetic_sweep.dir/fig10_synthetic_sweep.cc.o"
+  "CMakeFiles/fig10_synthetic_sweep.dir/fig10_synthetic_sweep.cc.o.d"
+  "fig10_synthetic_sweep"
+  "fig10_synthetic_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_synthetic_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_congestion_metrics.dir/fig11_congestion_metrics.cc.o"
+  "CMakeFiles/fig11_congestion_metrics.dir/fig11_congestion_metrics.cc.o.d"
+  "fig11_congestion_metrics"
+  "fig11_congestion_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_congestion_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

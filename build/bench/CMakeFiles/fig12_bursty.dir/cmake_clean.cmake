@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_bursty.dir/fig12_bursty.cc.o"
+  "CMakeFiles/fig12_bursty.dir/fig12_bursty.cc.o.d"
+  "fig12_bursty"
+  "fig12_bursty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_bursty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

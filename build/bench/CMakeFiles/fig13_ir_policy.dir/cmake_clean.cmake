@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ir_policy.dir/fig13_ir_policy.cc.o"
+  "CMakeFiles/fig13_ir_policy.dir/fig13_ir_policy.cc.o.d"
+  "fig13_ir_policy"
+  "fig13_ir_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ir_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_64core.dir/fig14_64core.cc.o"
+  "CMakeFiles/fig14_64core.dir/fig14_64core.cc.o.d"
+  "fig14_64core"
+  "fig14_64core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_64core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

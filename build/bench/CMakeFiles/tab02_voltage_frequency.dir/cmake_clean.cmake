@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_voltage_frequency.dir/tab02_voltage_frequency.cc.o"
+  "CMakeFiles/tab02_voltage_frequency.dir/tab02_voltage_frequency.cc.o.d"
+  "tab02_voltage_frequency"
+  "tab02_voltage_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_voltage_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_proportionality.dir/energy_proportionality.cpp.o"
+  "CMakeFiles/energy_proportionality.dir/energy_proportionality.cpp.o.d"
+  "energy_proportionality"
+  "energy_proportionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_proportionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

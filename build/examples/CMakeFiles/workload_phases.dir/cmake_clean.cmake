@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_phases.dir/workload_phases.cpp.o"
+  "CMakeFiles/workload_phases.dir/workload_phases.cpp.o.d"
+  "workload_phases"
+  "workload_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

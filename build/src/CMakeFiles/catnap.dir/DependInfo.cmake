@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/core.cc" "src/CMakeFiles/catnap.dir/app/core.cc.o" "gcc" "src/CMakeFiles/catnap.dir/app/core.cc.o.d"
+  "/root/repo/src/app/system.cc" "src/CMakeFiles/catnap.dir/app/system.cc.o" "gcc" "src/CMakeFiles/catnap.dir/app/system.cc.o.d"
+  "/root/repo/src/app/workload.cc" "src/CMakeFiles/catnap.dir/app/workload.cc.o" "gcc" "src/CMakeFiles/catnap.dir/app/workload.cc.o.d"
+  "/root/repo/src/catnap/congestion.cc" "src/CMakeFiles/catnap.dir/catnap/congestion.cc.o" "gcc" "src/CMakeFiles/catnap.dir/catnap/congestion.cc.o.d"
+  "/root/repo/src/catnap/gating.cc" "src/CMakeFiles/catnap.dir/catnap/gating.cc.o" "gcc" "src/CMakeFiles/catnap.dir/catnap/gating.cc.o.d"
+  "/root/repo/src/catnap/subnet_select.cc" "src/CMakeFiles/catnap.dir/catnap/subnet_select.cc.o" "gcc" "src/CMakeFiles/catnap.dir/catnap/subnet_select.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/catnap.dir/common/log.cc.o" "gcc" "src/CMakeFiles/catnap.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/catnap.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/catnap.dir/common/rng.cc.o.d"
+  "/root/repo/src/noc/multinoc.cc" "src/CMakeFiles/catnap.dir/noc/multinoc.cc.o" "gcc" "src/CMakeFiles/catnap.dir/noc/multinoc.cc.o.d"
+  "/root/repo/src/noc/nic.cc" "src/CMakeFiles/catnap.dir/noc/nic.cc.o" "gcc" "src/CMakeFiles/catnap.dir/noc/nic.cc.o.d"
+  "/root/repo/src/noc/router.cc" "src/CMakeFiles/catnap.dir/noc/router.cc.o" "gcc" "src/CMakeFiles/catnap.dir/noc/router.cc.o.d"
+  "/root/repo/src/power/energy_model.cc" "src/CMakeFiles/catnap.dir/power/energy_model.cc.o" "gcc" "src/CMakeFiles/catnap.dir/power/energy_model.cc.o.d"
+  "/root/repo/src/power/power_meter.cc" "src/CMakeFiles/catnap.dir/power/power_meter.cc.o" "gcc" "src/CMakeFiles/catnap.dir/power/power_meter.cc.o.d"
+  "/root/repo/src/power/voltage.cc" "src/CMakeFiles/catnap.dir/power/voltage.cc.o" "gcc" "src/CMakeFiles/catnap.dir/power/voltage.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/catnap.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/catnap.dir/sim/report.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/catnap.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/catnap.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/topology/topology.cc" "src/CMakeFiles/catnap.dir/topology/topology.cc.o" "gcc" "src/CMakeFiles/catnap.dir/topology/topology.cc.o.d"
+  "/root/repo/src/traffic/pattern.cc" "src/CMakeFiles/catnap.dir/traffic/pattern.cc.o" "gcc" "src/CMakeFiles/catnap.dir/traffic/pattern.cc.o.d"
+  "/root/repo/src/traffic/synthetic.cc" "src/CMakeFiles/catnap.dir/traffic/synthetic.cc.o" "gcc" "src/CMakeFiles/catnap.dir/traffic/synthetic.cc.o.d"
+  "/root/repo/src/traffic/trace.cc" "src/CMakeFiles/catnap.dir/traffic/trace.cc.o" "gcc" "src/CMakeFiles/catnap.dir/traffic/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

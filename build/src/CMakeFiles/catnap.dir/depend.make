@@ -1,0 +1,2 @@
+# Empty dependencies file for catnap.
+# This may be replaced when dependencies are built.

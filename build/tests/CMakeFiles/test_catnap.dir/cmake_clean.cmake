@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_catnap.dir/test_catnap.cc.o"
+  "CMakeFiles/test_catnap.dir/test_catnap.cc.o.d"
+  "test_catnap"
+  "test_catnap.pdb"
+  "test_catnap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_catnap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_details.dir/test_details.cc.o"
+  "CMakeFiles/test_details.dir/test_details.cc.o.d"
+  "test_details"
+  "test_details.pdb"
+  "test_details[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

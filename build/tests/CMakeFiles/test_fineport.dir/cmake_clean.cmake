@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fineport.dir/test_fineport.cc.o"
+  "CMakeFiles/test_fineport.dir/test_fineport.cc.o.d"
+  "test_fineport"
+  "test_fineport.pdb"
+  "test_fineport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fineport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catnap_sim.dir/catnap_sim.cc.o"
+  "CMakeFiles/catnap_sim.dir/catnap_sim.cc.o.d"
+  "catnap_sim"
+  "catnap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catnap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for catnap_sim.
+# This may be replaced when dependencies are built.
