@@ -114,9 +114,15 @@ CongestionState::update(Cycle now)
                           " subnet ", s);
             const double v = metric_value(ns, n, s, window_boundary);
             if (v > cfg_.threshold) {
+                if (sink_ && !lcs_[idx])
+                    sink_->on_event(
+                        {now, EventKind::kLcsSet, n, s, 0, 0, 0});
                 lcs_[idx] = true;
                 ns.lcs_set_until = now + static_cast<Cycle>(cfg_.lcs_hold);
             } else if (now >= ns.lcs_set_until) {
+                if (sink_ && lcs_[idx])
+                    sink_->on_event(
+                        {now, EventKind::kLcsClear, n, s, 0, 0, 0});
                 lcs_[idx] = false;
             }
         }
@@ -139,6 +145,11 @@ CongestionState::update(Cycle now)
                 if (rcs_latched_[ridx] != any) {
                     ++rcs_transitions_;
                     rcs_latched_[ridx] = any;
+                    if (sink_)
+                        sink_->on_event({now,
+                                         any ? EventKind::kRcsSet
+                                             : EventKind::kRcsClear,
+                                         r, s, 0, 0, 0});
                 }
             }
         }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/event.h"
 #include "topology/topology.h"
 
 namespace catnap {
@@ -91,6 +92,9 @@ class CongestionState
     void attach(NodeId node, SubnetId s, const Router *router,
                 const NetworkInterface *ni);
 
+    /** Attaches the trace-event sink (null disables emission). */
+    void set_sink(EventSink *sink) { sink_ = sink; }
+
     /** Recomputes LCS for every node and latches RCS on period boundaries. */
     void update(Cycle now);
 
@@ -105,6 +109,13 @@ class CongestionState
     rcs(NodeId node, SubnetId s) const
     {
         return rcs_latched_[region_index(mesh_.region_of(node), s)];
+    }
+
+    /** Latched RCS bit of @p region directly (observability exports). */
+    bool
+    rcs_region(int region, SubnetId s) const
+    {
+        return rcs_latched_[region_index(region, s)];
     }
 
     /** Effective congestion signal: LCS || RCS (per configuration). */
@@ -159,6 +170,7 @@ class CongestionState
     const ConcentratedMesh &mesh_;
     int num_subnets_;
     CongestionConfig cfg_;
+    EventSink *sink_ = nullptr;
     std::vector<NodeSample> samples_; // [subnet][node]
     std::vector<bool> lcs_;           // [subnet][node]
     std::vector<bool> rcs_latched_;   // [subnet][region]

@@ -106,7 +106,7 @@ CatnapGatingPolicy::step(Cycle now)
                 // Wake as soon as the lower-order subnet congests: new
                 // packets are about to be steered our way.
                 if (lower_congested)
-                    r->begin_wakeup(now);
+                    r->begin_wakeup(now, WakeReason::kRcs);
             } else if (r->can_sleep() && !lower_congested) {
                 r->enter_sleep(now);
             }

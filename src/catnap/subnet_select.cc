@@ -89,20 +89,24 @@ CatnapSelector::select(NodeId node, const PacketDesc &pkt,
                        const std::vector<bool> &slot_free,
                        int backlog_flits, Cycle now)
 {
-    (void)pkt;
-    (void)now;
     // Strict priority: inject into the lowest-order subnet whose
     // congestion signal is clear. If that subnet's injection port is
     // still streaming a previous packet, wait -- unless the NI backlog
     // shows sustained pressure, in which case the occupied port is
     // treated as local congestion and the packet moves up a subnet.
     const bool pressured = backlog_flits > spill_threshold_;
+    bool spilled = false; // a skipped lower subnet was merely busy
     for (int s = 0; s < num_subnets_; ++s) {
         if (!congestion_->congested(node, s)) {
-            if (slot_free[static_cast<std::size_t>(s)])
+            if (slot_free[static_cast<std::size_t>(s)]) {
+                if (sink_ && s > 0)
+                    sink_->on_event({now, EventKind::kEscalation, node, s,
+                                     s, spilled ? 1 : 0, pkt.id});
                 return s;
+            }
             if (!pressured)
                 return -1;
+            spilled = true;
             continue;
         }
     }
@@ -113,6 +117,9 @@ CatnapSelector::select(NodeId node, const PacketDesc &pkt,
         const int s = (ptr + i) % num_subnets_;
         if (slot_free[static_cast<std::size_t>(s)]) {
             ptr = (s + 1) % num_subnets_;
+            if (sink_)
+                sink_->on_event({now, EventKind::kEscalation, node, s,
+                                 num_subnets_, 2, pkt.id});
             return s;
         }
     }

@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "noc/flit.h"
+#include "obs/event.h"
 
 namespace catnap {
 
@@ -45,6 +46,9 @@ class SubnetSelector
   public:
     virtual ~SubnetSelector() = default;
 
+    /** Attaches the trace-event sink (null disables emission). */
+    void set_sink(EventSink *sink) { sink_ = sink; }
+
     /**
      * Picks a subnet for the packet at the head of @p node's NI queue.
      *
@@ -61,6 +65,9 @@ class SubnetSelector
     virtual SubnetId select(NodeId node, const PacketDesc &pkt,
                             const std::vector<bool> &slot_free,
                             int backlog_flits, Cycle now) = 0;
+
+  protected:
+    EventSink *sink_ = nullptr;
 };
 
 /** Rotates across subnets per node, skipping busy slots. */

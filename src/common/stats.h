@@ -60,10 +60,10 @@ class RunningStat
     /** Population standard deviation. */
     double stddev() const { return std::sqrt(variance()); }
 
-    /** Minimum sample, or +inf if empty. */
+    /** Minimum sample, or 0 if empty. */
     double min() const { return n_ ? min_ : 0.0; }
 
-    /** Maximum sample, or -inf if empty. */
+    /** Maximum sample, or 0 if empty. */
     double max() const { return n_ ? max_ : 0.0; }
 
   private:

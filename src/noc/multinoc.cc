@@ -129,6 +129,19 @@ MultiNoc::MultiNoc(const MultiNocConfig &cfg)
 }
 
 void
+MultiNoc::set_event_sink(EventSink *sink)
+{
+    sink_ = sink;
+    for (auto &subnet : routers_)
+        for (auto &r : subnet)
+            r->set_sink(sink);
+    for (auto &ni : nis_)
+        ni->set_sink(sink);
+    congestion_.set_sink(sink);
+    selector_->set_sink(sink);
+}
+
+void
 MultiNoc::tick()
 {
     const Cycle now = now_;

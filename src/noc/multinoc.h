@@ -108,6 +108,17 @@ class MultiNoc
     /** Advances the network by one cycle (evaluate/commit/policy). */
     void tick();
 
+    /**
+     * Attaches a trace-event sink to every component (routers, NIs, the
+     * congestion detector, and the subnet selector). Pass null to
+     * detach; with no sink attached tracing costs one untaken branch
+     * per potential event.
+     */
+    void set_event_sink(EventSink *sink);
+
+    /** The attached trace-event sink, or null. */
+    EventSink *event_sink() const { return sink_; }
+
     /** Current cycle (number of completed ticks). */
     Cycle now() const { return now_; }
 
@@ -207,6 +218,7 @@ class MultiNoc
     std::vector<std::unique_ptr<NetworkInterface>> nis_;        // [n]
     std::unique_ptr<SubnetSelector> selector_;
     std::unique_ptr<GatingPolicy> gating_;
+    EventSink *sink_ = nullptr;
 
     Cycle now_ = 0;
 };

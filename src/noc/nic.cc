@@ -140,6 +140,9 @@ NetworkInterface::try_assign_head(Cycle now)
         rtr->request_wakeup();
     }
     ++injected_packets_per_subnet_[static_cast<std::size_t>(s)];
+    if (sink_)
+        sink_->on_event({now, EventKind::kSubnetSelect, node_, s,
+                         slot.total_flits, slot.pkt.dst, slot.pkt.id});
 }
 
 void
@@ -196,6 +199,10 @@ NetworkInterface::stream_slots(Cycle now)
         rtr->activity().ni_flits += 1;
         if (metrics_)
             metrics_->note_injected_flit(static_cast<SubnetId>(s), now);
+        if (sink_)
+            sink_->on_event({now, EventKind::kFlitInject, node_,
+                             static_cast<SubnetId>(s), f.seq, f.pkt_flits,
+                             f.pkt});
 
         ++slot.next_seq;
         if (slot.next_seq == slot.total_flits) {
@@ -233,6 +240,10 @@ NetworkInterface::commit(Cycle now)
             }
             routers_[static_cast<std::size_t>(e.subnet)]->activity()
                 .ni_flits += 1;
+            if (sink_)
+                sink_->on_event({now, EventKind::kFlitEject, node_,
+                                 e.subnet, e.flit.seq,
+                                 e.flit.is_tail() ? 1 : 0, e.flit.pkt});
             if (e.flit.is_tail()) {
                 if (metrics_) {
                     metrics_->note_ejected_packet(
@@ -240,8 +251,8 @@ NetworkInterface::commit(Cycle now)
                         e.flit.pkt_flits,
                         mesh_.hop_distance(e.flit.src, e.flit.dst));
                 }
-                if (sink_)
-                    sink_(e.flit, now);
+                if (packet_sink_)
+                    packet_sink_(e.flit, now);
             }
         }
         eject_events_.resize(kept);
@@ -258,7 +269,7 @@ NetworkInterface::commit(Cycle now)
                 metrics_->note_ejected_packet(l.pkt.created, l.pkt.created,
                                               now, flits_of(l.pkt), 0);
             }
-            if (sink_) {
+            if (packet_sink_) {
                 Flit tail;
                 tail.pkt = l.pkt.id;
                 tail.src = l.pkt.src;
@@ -269,7 +280,7 @@ NetworkInterface::commit(Cycle now)
                 tail.created = l.pkt.created;
                 tail.injected = l.pkt.created;
                 tail.user = l.pkt.user;
-                sink_(tail, now);
+                packet_sink_(tail, now);
             }
         }
         loopback_events_.resize(kept);

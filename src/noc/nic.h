@@ -61,8 +61,11 @@ class NetworkInterface
     /** Sets the subnet-selection policy (not owned; shared by all NIs). */
     void set_selector(SubnetSelector *sel) { selector_ = sel; }
 
+    /** Attaches the trace-event sink (null disables emission). */
+    void set_sink(EventSink *sink) { sink_ = sink; }
+
     /** Sets the sink notified on every completed packet (may be empty). */
-    void set_packet_sink(PacketSink sink) { sink_ = std::move(sink); }
+    void set_packet_sink(PacketSink sink) { packet_sink_ = std::move(sink); }
 
     /**
      * Offers a new packet from a traffic source or the app substrate.
@@ -194,7 +197,8 @@ class NetworkInterface
     const ConcentratedMesh &mesh_;
     NetMetrics *metrics_;
     SubnetSelector *selector_ = nullptr;
-    PacketSink sink_;
+    EventSink *sink_ = nullptr;
+    PacketSink packet_sink_;
 
     int queue_capacity_flits_;
     std::deque<PacketDesc> stash_;   ///< unbounded source-side backlog

@@ -303,8 +303,12 @@ Router::commit(Cycle now)
 {
     // Advance the power FSMs before accepting arrivals so a wake-up
     // that completes this cycle can receive the flit timed to land now.
-    if (power_state_ == PowerState::kWakeup && now >= wake_done_)
+    if (power_state_ == PowerState::kWakeup && now >= wake_done_) {
         power_state_ = PowerState::kActive;
+        if (sink_)
+            sink_->on_event(
+                {now, EventKind::kRouterActive, node_, subnet_, 0, 0, 0});
+    }
     if (params_.port_gating) {
         for (auto &pp : port_power_) {
             if (pp.state == PowerState::kWakeup && now >= pp.wake_done)
@@ -318,6 +322,11 @@ Router::commit(Cycle now)
     if (buffers_empty()) {
         if (idle_streak_ < std::numeric_limits<int>::max())
             ++idle_streak_;
+        if (sink_ && idle_streak_ == params_.t_idle_detect &&
+            power_state_ == PowerState::kActive) {
+            sink_->on_event({now, EventKind::kRouterIdleDetect, node_,
+                             subnet_, idle_streak_, 0, 0});
+        }
     } else {
         idle_streak_ = 0;
     }
@@ -443,10 +452,13 @@ Router::enter_sleep(Cycle now)
     power_state_ = PowerState::kSleep;
     sleep_start_ = now;
     ++activity_.sleep_transitions;
+    if (sink_)
+        sink_->on_event(
+            {now, EventKind::kRouterSleep, node_, subnet_, 0, 0, 0});
 }
 
 void
-Router::begin_wakeup(Cycle now)
+Router::begin_wakeup(Cycle now, WakeReason reason)
 {
     if (power_state_ != PowerState::kSleep)
         return;
@@ -460,6 +472,10 @@ Router::begin_wakeup(Cycle now)
     net_credited_ = 0;
     power_state_ = PowerState::kWakeup;
     wake_done_ = now + static_cast<Cycle>(params_.t_wakeup);
+    if (sink_)
+        sink_->on_event({now, EventKind::kRouterWakeBegin, node_, subnet_,
+                         static_cast<std::int32_t>(reason),
+                         params_.t_wakeup, 0});
 }
 
 bool

@@ -29,6 +29,7 @@
 #include "noc/buffer.h"
 #include "noc/flit.h"
 #include "noc/params.h"
+#include "obs/event.h"
 #include "power/activity.h"
 #include "topology/topology.h"
 
@@ -73,6 +74,9 @@ class Router
 
     /** Registers the NI-side client of the local port. */
     void set_local_client(LocalPortClient *client) { local_client_ = client; }
+
+    /** Attaches the trace-event sink (null disables emission). */
+    void set_sink(EventSink *sink) { sink_ = sink; }
 
     // ------------------------------------------------------------------
     // Per-cycle phases
@@ -173,8 +177,10 @@ class Router
     /** Transitions Active -> Sleep (policy phase). */
     void enter_sleep(Cycle now);
 
-    /** Starts Sleep -> Wakeup -> Active; no-op unless sleeping. */
-    void begin_wakeup(Cycle now);
+    /** Starts Sleep -> Wakeup -> Active; no-op unless sleeping. @p reason
+     * is recorded on the emitted trace event only. */
+    void begin_wakeup(Cycle now,
+                      WakeReason reason = WakeReason::kLookahead);
 
     /** Accounts one cycle of residency in the current power state. */
     void account_power_cycle();
@@ -287,6 +293,7 @@ class Router
 
     std::array<Router *, kNumPorts> neighbors_{};
     LocalPortClient *local_client_ = nullptr;
+    EventSink *sink_ = nullptr;
 
     /** Input buffers: [port][vc] flattened. */
     std::vector<RingFifo<Flit>> fifos_;

@@ -1,0 +1,35 @@
+#include "obs/event.h"
+
+namespace catnap {
+
+const char *
+event_kind_name(EventKind k)
+{
+    switch (k) {
+      case EventKind::kFlitInject:      return "flit_inject";
+      case EventKind::kFlitEject:       return "flit_eject";
+      case EventKind::kSubnetSelect:    return "subnet_select";
+      case EventKind::kEscalation:      return "escalation";
+      case EventKind::kLcsSet:          return "lcs_set";
+      case EventKind::kLcsClear:        return "lcs_clear";
+      case EventKind::kRcsSet:          return "rcs_set";
+      case EventKind::kRcsClear:        return "rcs_clear";
+      case EventKind::kRouterIdleDetect:return "router_idle_detect";
+      case EventKind::kRouterSleep:     return "router_sleep";
+      case EventKind::kRouterWakeBegin: return "router_wake_begin";
+      case EventKind::kRouterActive:    return "router_active";
+    }
+    return "?";
+}
+
+const char *
+wake_reason_name(WakeReason r)
+{
+    switch (r) {
+      case WakeReason::kLookahead: return "lookahead";
+      case WakeReason::kRcs:       return "rcs";
+    }
+    return "?";
+}
+
+} // namespace catnap

@@ -1,0 +1,94 @@
+#include "obs/snapshot.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/log.h"
+#include "noc/multinoc.h"
+
+namespace catnap {
+
+SnapshotRecorder::SnapshotRecorder(Cycle interval)
+    : interval_(interval)
+{
+    CATNAP_ASSERT(interval_ >= 1, "snapshot interval must be >= 1 cycle");
+}
+
+void
+SnapshotRecorder::observe(const MultiNoc &net, Cycle now)
+{
+    const auto subnets = static_cast<std::size_t>(net.num_subnets());
+    if (rcs_set_acc_.size() != subnets) {
+        rcs_set_acc_.assign(subnets, 0);
+        injected_at_epoch_.assign(subnets, 0);
+        for (SubnetId s = 0; s < net.num_subnets(); ++s)
+            injected_at_epoch_[static_cast<std::size_t>(s)] =
+                net.metrics().injected_flits_in_subnet(s);
+    }
+
+    const CongestionState &cong = net.congestion();
+    const int regions = net.mesh().num_regions();
+    for (SubnetId s = 0; s < net.num_subnets(); ++s) {
+        std::uint64_t set = 0;
+        for (int r = 0; r < regions; ++r)
+            set += cong.rcs_region(r, s) ? 1u : 0u;
+        rcs_set_acc_[static_cast<std::size_t>(s)] += set;
+    }
+    ++epoch_cycles_;
+
+    if (epoch_cycles_ < interval_)
+        return;
+
+    const int nodes = net.num_nodes();
+    for (SubnetId s = 0; s < net.num_subnets(); ++s) {
+        SnapshotRow row;
+        row.cycle = now;
+        row.subnet = s;
+        row.num_routers = nodes;
+        for (NodeId n = 0; n < nodes; ++n) {
+            const Router &r = net.router(s, n);
+            row.buffered_flits += r.total_occupancy();
+            if (r.power_state() == PowerState::kSleep)
+                ++row.sleeping_routers;
+        }
+        const auto si = static_cast<std::size_t>(s);
+        row.rcs_duty =
+            regions > 0
+                ? static_cast<double>(rcs_set_acc_[si]) /
+                      (static_cast<double>(epoch_cycles_) *
+                       static_cast<double>(regions))
+                : 0.0;
+        const std::uint64_t injected =
+            net.metrics().injected_flits_in_subnet(s);
+        row.injected_flits = injected - injected_at_epoch_[si];
+        injected_at_epoch_[si] = injected;
+        rcs_set_acc_[si] = 0;
+        rows_.push_back(row);
+    }
+    epoch_cycles_ = 0;
+}
+
+void
+SnapshotRecorder::write_csv(std::ostream &os) const
+{
+    os << "cycle,subnet,buffered_flits,sleeping_routers,num_routers,"
+          "rcs_duty,injected_flits\n";
+    for (const SnapshotRow &r : rows_) {
+        os << r.cycle << ',' << r.subnet << ',' << r.buffered_flits << ','
+           << r.sleeping_routers << ',' << r.num_routers << ','
+           << r.rcs_duty << ',' << r.injected_flits << '\n';
+    }
+}
+
+void
+save_snapshot_csv(const std::string &path, const SnapshotRecorder &rec)
+{
+    std::ofstream os(path);
+    if (!os)
+        CATNAP_FATAL("cannot open ", path, " for writing");
+    rec.write_csv(os);
+    if (!os)
+        CATNAP_FATAL("error writing ", path);
+}
+
+} // namespace catnap

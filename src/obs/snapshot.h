@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Periodic epoch snapshots of network state: per-subnet buffer
+ * occupancy, sleeping-router count, RCS duty cycle, and injected-flit
+ * throughput, sampled every `interval` cycles and exportable as CSV
+ * alongside the existing reports (sim/report.h).
+ *
+ * Unlike the event trace (which records *transitions*), snapshots give a
+ * uniformly-sampled timeline that is cheap enough to keep for a whole
+ * run: one row per (epoch, subnet).
+ */
+#ifndef CATNAP_OBS_SNAPSHOT_H
+#define CATNAP_OBS_SNAPSHOT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace catnap {
+
+class MultiNoc;
+
+/** One subnet's state at the end of one epoch. */
+struct SnapshotRow
+{
+    Cycle cycle = 0;   ///< last cycle of the epoch
+    SubnetId subnet = 0;
+    int buffered_flits = 0;    ///< flits in router buffers, whole subnet
+    int sleeping_routers = 0;  ///< routers in the Sleep state
+    int num_routers = 0;       ///< routers in the subnet
+    double rcs_duty = 0.0;     ///< mean fraction of RCS bits set over
+                               ///< the epoch, in [0, 1]
+    std::uint64_t injected_flits = 0; ///< flits injected this epoch
+};
+
+/**
+ * Samples a MultiNoc once per epoch. Drive it by calling observe() once
+ * per cycle (the simulator does this when a recorder is attached); rows
+ * accumulate in memory until written out.
+ */
+class SnapshotRecorder
+{
+  public:
+    /** Creates a recorder sampling every @p interval cycles (>= 1). */
+    explicit SnapshotRecorder(Cycle interval);
+
+    /**
+     * Observes @p net at cycle @p now. Accumulates the RCS duty cycle
+     * every call and appends one row per subnet whenever an epoch ends.
+     * Must be called with strictly increasing @p now.
+     */
+    void observe(const MultiNoc &net, Cycle now);
+
+    /** Sampling interval, cycles. */
+    Cycle interval() const { return interval_; }
+
+    /** Rows collected so far, epoch-major then subnet-major. */
+    const std::vector<SnapshotRow> &rows() const { return rows_; }
+
+    /**
+     * Writes the rows as CSV with a header row.
+     *
+     * Columns: cycle, subnet, buffered_flits, sleeping_routers,
+     * num_routers, rcs_duty, injected_flits
+     */
+    void write_csv(std::ostream &os) const;
+
+  private:
+    Cycle interval_;
+    Cycle epoch_cycles_ = 0; ///< cycles observed in the open epoch
+    std::vector<std::uint64_t> rcs_set_acc_;       // [subnet]
+    std::vector<std::uint64_t> injected_at_epoch_; // [subnet]
+    std::vector<SnapshotRow> rows_;
+};
+
+/** Writes @p rec's rows to @p path; fatal on I/O failure. */
+void save_snapshot_csv(const std::string &path,
+                       const SnapshotRecorder &rec);
+
+} // namespace catnap
+
+#endif // CATNAP_OBS_SNAPSHOT_H

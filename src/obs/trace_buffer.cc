@@ -1,0 +1,36 @@
+#include "obs/trace_buffer.h"
+
+#include "common/log.h"
+
+namespace catnap {
+
+EventTrace::EventTrace(std::size_t capacity)
+    : buf_(capacity)
+{
+    CATNAP_ASSERT(capacity > 0, "event trace needs a non-zero capacity");
+}
+
+void
+EventTrace::on_event(const TraceEvent &ev)
+{
+    ++recorded_;
+    if (size_ < buf_.size()) {
+        buf_[(start_ + size_) % buf_.size()] = ev;
+        ++size_;
+        return;
+    }
+    buf_[start_] = ev;
+    start_ = (start_ + 1) % buf_.size();
+    ++dropped_;
+}
+
+void
+EventTrace::clear()
+{
+    start_ = 0;
+    size_ = 0;
+    recorded_ = 0;
+    dropped_ = 0;
+}
+
+} // namespace catnap

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bounded ring-buffer event recorder. The standard EventSink: keeps the
+ * newest `capacity` events, overwriting the oldest when full and
+ * counting what it overwrote, so a trace of a long run degrades to "the
+ * most recent window" instead of unbounded memory growth.
+ */
+#ifndef CATNAP_OBS_TRACE_BUFFER_H
+#define CATNAP_OBS_TRACE_BUFFER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace catnap {
+
+/**
+ * Records events into a fixed-capacity ring. Retained events are
+ * addressable oldest-first through at()/for_each and always form a
+ * contiguous suffix of the emitted stream.
+ */
+class EventTrace final : public EventSink
+{
+  public:
+    /** Creates a recorder retaining at most @p capacity events. */
+    explicit EventTrace(std::size_t capacity = kDefaultCapacity);
+
+    void on_event(const TraceEvent &ev) override;
+
+    /** Events currently retained (<= capacity). */
+    std::size_t size() const { return size_; }
+
+    /** Maximum retained events. */
+    std::size_t capacity() const { return buf_.size(); }
+
+    /** Total events ever emitted into this recorder. */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Events overwritten because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** @p i-th oldest retained event, i in [0, size()). */
+    const TraceEvent &
+    at(std::size_t i) const
+    {
+        return buf_[(start_ + i) % buf_.size()];
+    }
+
+    /** Calls @p fn(const TraceEvent &) on every retained event, oldest
+     * first. */
+    template <typename Fn>
+    void
+    for_each(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < size_; ++i)
+            fn(at(i));
+    }
+
+    /** Discards all retained events and resets the counters. */
+    void clear();
+
+    /** Default ring capacity (~32 MiB of events). */
+    static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+  private:
+    std::vector<TraceEvent> buf_;
+    std::size_t start_ = 0; ///< index of the oldest retained event
+    std::size_t size_ = 0;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace catnap
+
+#endif // CATNAP_OBS_TRACE_BUFFER_H

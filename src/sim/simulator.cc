@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include "common/log.h"
+#include "obs/snapshot.h"
 #include "power/voltage.h"
 
 namespace catnap {
@@ -21,6 +22,8 @@ run_synthetic(const MultiNocConfig &net_cfg, const SyntheticConfig &traffic,
     MultiNocConfig cfg = net_cfg;
     cfg.seed = params.seed;
     MultiNoc net(cfg);
+    if (params.sink)
+        net.set_event_sink(params.sink);
 
     SyntheticTraffic gen(&net, traffic, params.seed ^ 0xabcdef12345ULL);
 
@@ -35,6 +38,8 @@ run_synthetic(const MultiNocConfig &net_cfg, const SyntheticConfig &traffic,
     while (net.now() < m_begin) {
         gen.step(net.now());
         net.tick();
+        if (params.snapshots)
+            params.snapshots->observe(net, net.now() - 1);
     }
 
     // Measurement.
@@ -44,6 +49,8 @@ run_synthetic(const MultiNocConfig &net_cfg, const SyntheticConfig &traffic,
     while (net.now() < m_end) {
         gen.step(net.now());
         net.tick();
+        if (params.snapshots)
+            params.snapshots->observe(net, net.now() - 1);
     }
     net.finalize_accounting();
     const std::uint64_t offered1 = net.metrics().offered_packets();
@@ -68,8 +75,11 @@ run_synthetic(const MultiNocConfig &net_cfg, const SyntheticConfig &traffic,
     // Drain: stop generating and let in-flight window packets finish so
     // latency statistics cover whole packets.
     const Cycle drain_end = net.now() + params.drain_max;
-    while (net.now() < drain_end && !net.quiescent())
+    while (net.now() < drain_end && !net.quiescent()) {
         net.tick();
+        if (params.snapshots)
+            params.snapshots->observe(net, net.now() - 1);
+    }
 
     res.avg_latency = net.metrics().total_latency().mean();
     res.avg_net_latency = net.metrics().network_latency().mean();

@@ -15,6 +15,8 @@
 
 namespace catnap {
 
+class SnapshotRecorder;
+
 /** Phase lengths for a synthetic run. */
 struct RunParams
 {
@@ -31,6 +33,15 @@ struct RunParams
     bool voltage_scaling = true;
 
     std::uint64_t seed = 12345;
+
+    // Observability hooks (not owned; null = disabled, zero overhead).
+
+    /** Trace-event recorder attached to the network for the whole run
+     * (warm-up, measurement, and drain). */
+    EventSink *sink = nullptr;
+
+    /** Epoch-snapshot recorder, observed once per simulated cycle. */
+    SnapshotRecorder *snapshots = nullptr;
 };
 
 /** Results of one synthetic run. */

@@ -11,9 +11,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "app/system.h"
+#include "obs/export.h"
+#include "obs/snapshot.h"
+#include "obs/trace_buffer.h"
 #include "sim/simulator.h"
 
 using namespace catnap;
@@ -44,7 +48,15 @@ usage(int code)
         "common:\n"
         "  --warmup N --measure N    phase lengths (cycles)\n"
         "  --seed N                  RNG seed\n"
-        "  --no-vscale               run everything at 0.750 V\n");
+        "  --no-vscale               run everything at 0.750 V\n"
+        "observability (synthetic mode):\n"
+        "  --trace-out FILE          write Chrome trace-event JSON\n"
+        "                            (open in Perfetto / chrome://tracing)\n"
+        "  --trace-jsonl FILE        write the raw event stream as JSONL\n"
+        "  --trace-events N          event ring-buffer capacity\n"
+        "                            (default 1048576; oldest dropped)\n"
+        "  --snapshot-every N        epoch snapshot interval, cycles\n"
+        "  --snapshot-out FILE       snapshot CSV (default snapshots.csv)\n");
     std::exit(code);
 }
 
@@ -141,6 +153,11 @@ main(int argc, char **argv)
     RunParams rp;
     AppRunParams ap;
     double threshold = -1.0;
+    std::string trace_out;
+    std::string trace_jsonl;
+    std::string snapshot_out = "snapshots.csv";
+    std::size_t trace_capacity = EventTrace::kDefaultCapacity;
+    Cycle snapshot_every = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -182,6 +199,18 @@ main(int argc, char **argv)
                 std::atoll(need_value(argc, argv, i)));
         else if (a == "--no-vscale")
             rp.voltage_scaling = ap.voltage_scaling = false;
+        else if (a == "--trace-out")
+            trace_out = need_value(argc, argv, i);
+        else if (a == "--trace-jsonl")
+            trace_jsonl = need_value(argc, argv, i);
+        else if (a == "--trace-events")
+            trace_capacity = static_cast<std::size_t>(
+                std::atoll(need_value(argc, argv, i)));
+        else if (a == "--snapshot-every")
+            snapshot_every =
+                static_cast<Cycle>(std::atoll(need_value(argc, argv, i)));
+        else if (a == "--snapshot-out")
+            snapshot_out = need_value(argc, argv, i);
         else {
             std::fprintf(stderr, "unknown option: %s\n", a.c_str());
             usage(2);
@@ -193,6 +222,17 @@ main(int argc, char **argv)
             : CongestionConfig::default_threshold(cfg.congestion.metric);
 
     if (mode == "synthetic") {
+        std::unique_ptr<EventTrace> trace;
+        if (!trace_out.empty() || !trace_jsonl.empty()) {
+            trace = std::make_unique<EventTrace>(trace_capacity);
+            rp.sink = trace.get();
+        }
+        std::unique_ptr<SnapshotRecorder> snaps;
+        if (snapshot_every > 0) {
+            snaps = std::make_unique<SnapshotRecorder>(snapshot_every);
+            rp.snapshots = snaps.get();
+        }
+
         const SyntheticResult r = run_synthetic(cfg, traffic, rp);
         std::printf("config       : %s (%dx%d mesh, %s selector, %s)\n",
                     r.config_label.c_str(), cfg.mesh_width, cfg.mesh_height,
@@ -207,6 +247,32 @@ main(int argc, char **argv)
         std::printf("CSC          : %.1f %%\n", r.csc_percent);
         std::printf("voltage      : %.3f V\n", r.vdd);
         print_power(r.power, r.power_static);
+
+        if (trace) {
+            std::printf("trace        : %llu events recorded, %llu "
+                        "dropped\n",
+                        static_cast<unsigned long long>(trace->recorded()),
+                        static_cast<unsigned long long>(trace->dropped()));
+            TraceExportMeta meta;
+            meta.num_subnets = cfg.num_subnets;
+            meta.num_nodes = cfg.mesh_width * cfg.mesh_height;
+            meta.counter_window = 50;
+            if (!trace_out.empty()) {
+                save_chrome_trace(trace_out, *trace, meta);
+                std::printf("trace        : wrote %s (open in Perfetto)\n",
+                            trace_out.c_str());
+            }
+            if (!trace_jsonl.empty()) {
+                save_jsonl(trace_jsonl, *trace);
+                std::printf("trace        : wrote %s\n",
+                            trace_jsonl.c_str());
+            }
+        }
+        if (snaps) {
+            save_snapshot_csv(snapshot_out, *snaps);
+            std::printf("snapshots    : wrote %zu rows to %s\n",
+                        snaps->rows().size(), snapshot_out.c_str());
+        }
     } else if (mode == "app") {
         const WorkloadMix mix = parse_workload(workload);
         const AppRunResult r = run_app_workload(cfg, mix, ap);
