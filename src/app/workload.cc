@@ -1,7 +1,5 @@
 #include "app/workload.h"
 
-#include <unordered_map>
-
 #include "common/log.h"
 
 namespace catnap {

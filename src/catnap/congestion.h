@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/phase.h"
 #include "common/types.h"
 #include "obs/event.h"
 #include "topology/topology.h"
@@ -96,7 +97,7 @@ class CongestionState
     void set_sink(EventSink *sink) { sink_ = sink; }
 
     /** Recomputes LCS for every node and latches RCS on period boundaries. */
-    void update(Cycle now);
+    CATNAP_PHASE_WRITE void update(Cycle now);
 
     /** Local congestion status of @p node for subnet @p s. */
     bool lcs(NodeId node, SubnetId s) const

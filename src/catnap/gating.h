@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/phase.h"
 #include "common/types.h"
 
 namespace catnap {
@@ -61,11 +62,11 @@ class GatingPolicy
     }
 
     /** Runs one policy step (the per-cycle policy phase). */
-    virtual void step(Cycle now) = 0;
+    CATNAP_PHASE_WRITE virtual void step(Cycle now) = 0;
 
   protected:
     /** Services wake requests for every attached router. */
-    void service_wake_requests(Cycle now);
+    CATNAP_PHASE_WRITE void service_wake_requests(Cycle now);
 
     std::vector<std::vector<Router *>> routers_; // [subnet][node]
 };

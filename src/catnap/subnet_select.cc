@@ -39,7 +39,7 @@ RoundRobinSelector::select(NodeId node, const PacketDesc &pkt,
             return s;
         }
     }
-    return -1;
+    return kNoSubnet;
 }
 
 RandomSelector::RandomSelector(int num_subnets, Rng rng)
@@ -61,7 +61,7 @@ RandomSelector::select(NodeId node, const PacketDesc &pkt,
         if (slot_free[static_cast<std::size_t>(s)])
             ++free_count;
     if (free_count == 0)
-        return -1;
+        return kNoSubnet;
     int pick = static_cast<int>(
         rng_.next_below(static_cast<std::uint64_t>(free_count)));
     for (int s = 0; s < num_subnets_; ++s) {
@@ -70,7 +70,7 @@ RandomSelector::select(NodeId node, const PacketDesc &pkt,
         if (pick-- == 0)
             return s;
     }
-    return -1;
+    return kNoSubnet;
 }
 
 CatnapSelector::CatnapSelector(int num_nodes, int num_subnets,
@@ -105,7 +105,7 @@ CatnapSelector::select(NodeId node, const PacketDesc &pkt,
                 return s;
             }
             if (!pressured)
-                return -1;
+                return kNoSubnet;
             spilled = true;
             continue;
         }
@@ -123,7 +123,7 @@ CatnapSelector::select(NodeId node, const PacketDesc &pkt,
             return s;
         }
     }
-    return -1;
+    return kNoSubnet;
 }
 
 ClassPartitionSelector::ClassPartitionSelector(int num_subnets)
@@ -140,7 +140,7 @@ ClassPartitionSelector::select(NodeId node, const PacketDesc &pkt,
     (void)backlog_flits;
     (void)now;
     const int s = static_cast<int>(pkt.mc) % num_subnets_;
-    return slot_free[static_cast<std::size_t>(s)] ? s : -1;
+    return slot_free[static_cast<std::size_t>(s)] ? s : kNoSubnet;
 }
 
 std::unique_ptr<SubnetSelector>

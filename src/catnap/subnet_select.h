@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/phase.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "noc/flit.h"
@@ -60,11 +61,12 @@ class SubnetSelector
      *        in the bounded NI queue, saturated upward when the
      *        source-side stash is also non-empty
      * @param now current cycle
-     * @return the chosen subnet, or -1 to wait this cycle
+     * @return the chosen subnet, or kNoSubnet to wait this cycle
      */
-    virtual SubnetId select(NodeId node, const PacketDesc &pkt,
-                            const std::vector<bool> &slot_free,
-                            int backlog_flits, Cycle now) = 0;
+    CATNAP_PHASE_READ virtual SubnetId
+    select(NodeId node, const PacketDesc &pkt,
+           const std::vector<bool> &slot_free, int backlog_flits,
+           Cycle now) = 0;
 
   protected:
     EventSink *sink_ = nullptr;

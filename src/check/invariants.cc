@@ -1,0 +1,340 @@
+#include "check/invariants.h"
+
+#include <iostream>
+#include <sstream>
+
+#include "common/log.h"
+#include "noc/multinoc.h"
+#include "obs/export.h"
+#include "obs/trace_buffer.h"
+
+namespace catnap {
+
+namespace {
+
+/** Newest trace events dumped to stderr when a violation aborts. */
+constexpr std::size_t kDumpEvents = 200;
+
+} // namespace
+
+const char *
+invariant_kind_name(InvariantViolation::Kind k)
+{
+    switch (k) {
+      case InvariantViolation::Kind::kFlitConservation:
+        return "flit-conservation";
+      case InvariantViolation::Kind::kCreditConservation:
+        return "credit-conservation";
+      case InvariantViolation::Kind::kGating:
+        return "gating-legality";
+      case InvariantViolation::Kind::kCongestion:
+        return "congestion-causality";
+      case InvariantViolation::Kind::kWatchdog:
+        return "forward-progress";
+    }
+    return "?";
+}
+
+InvariantChecker::InvariantChecker() : InvariantChecker(Options{}) {}
+
+InvariantChecker::InvariantChecker(Options opts) : opts_(opts)
+{
+    CATNAP_ASSERT(opts_.conservation_stride >= 1,
+                  "conservation stride must be positive");
+    CATNAP_ASSERT(opts_.watchdog_cycles >= 1,
+                  "watchdog horizon must be positive");
+}
+
+void
+InvariantChecker::reset()
+{
+    violations_.clear();
+    cycles_checked_ = 0;
+    shadow_valid_ = false;
+    prev_power_.clear();
+    prev_lcs_.clear();
+    last_progress_value_ = 0;
+    last_progress_cycle_ = 0;
+}
+
+void
+InvariantChecker::run(const MultiNoc &noc, Cycle now)
+{
+    check_gating_legality(noc, now);
+    check_congestion_causality(noc, now);
+    check_forward_progress(noc, now);
+    if (cycles_checked_ %
+            static_cast<std::uint64_t>(opts_.conservation_stride) == 0) {
+        check_flit_conservation(noc, now);
+        check_credit_conservation(noc, now);
+    }
+    capture_shadow(noc);
+    ++cycles_checked_;
+}
+
+void
+InvariantChecker::check_flit_conservation(const MultiNoc &noc, Cycle now)
+{
+    std::uint64_t in_flight = 0;
+    for (SubnetId s = 0; s < noc.num_subnets(); ++s) {
+        for (NodeId n = 0; n < noc.num_nodes(); ++n) {
+            const Router &r = noc.router(s, n);
+            in_flight += static_cast<std::uint64_t>(r.total_occupancy());
+            in_flight += r.pending_arrivals();
+        }
+    }
+    for (NodeId n = 0; n < noc.num_nodes(); ++n) {
+        in_flight += static_cast<std::uint64_t>(
+            noc.ni(n).pending_eject_flits());
+    }
+    const std::uint64_t injected = noc.metrics().injected_flits();
+    const std::uint64_t ejected = noc.metrics().ejected_network_flits();
+    if (injected != in_flight + ejected) {
+        std::ostringstream os;
+        os << "flit conservation broken: injected " << injected
+           << " != in-flight " << in_flight << " + ejected " << ejected;
+        report(InvariantViolation::Kind::kFlitConservation, now, os.str());
+    }
+}
+
+void
+InvariantChecker::check_credit_conservation(const MultiNoc &noc, Cycle now)
+{
+    const SubnetParams &params = noc.subnet_params();
+    const int depth = params.vc_depth_flits;
+    for (SubnetId s = 0; s < noc.num_subnets(); ++s) {
+        for (NodeId n = 0; n < noc.num_nodes(); ++n) {
+            const Router &up = noc.router(s, n);
+            for (int p = 1; p < kNumPorts; ++p) {
+                const Direction d = direction_from_index(p);
+                const NodeId m = noc.mesh().neighbor(n, d);
+                if (m == kInvalidNode)
+                    continue;
+                const Router &down = noc.router(s, m);
+                const Direction in = opposite(d);
+                for (VcId vc = 0; vc < params.num_vcs; ++vc) {
+                    const int ledger =
+                        up.output_credits(d, vc) +
+                        up.pending_credits_for(d, vc) +
+                        down.vc_occupancy(in, vc) +
+                        down.pending_arrivals_for(in, vc);
+                    if (ledger != depth) {
+                        std::ostringstream os;
+                        os << "credit leak on subnet " << s << " link "
+                           << n << "->" << m << " ("
+                           << direction_name(d) << ") vc " << vc
+                           << ": credits " << up.output_credits(d, vc)
+                           << " + in-flight credits "
+                           << up.pending_credits_for(d, vc)
+                           << " + buffered " << down.vc_occupancy(in, vc)
+                           << " + arriving "
+                           << down.pending_arrivals_for(in, vc)
+                           << " != depth " << depth;
+                        report(InvariantViolation::Kind::kCreditConservation,
+                               now, os.str());
+                    }
+                }
+            }
+            // The NI->router local link mirrors the same ledger.
+            const NetworkInterface &ni = noc.ni(n);
+            for (VcId vc = 0; vc < params.num_vcs; ++vc) {
+                const int ledger =
+                    ni.local_credit_count(s, vc) +
+                    ni.pending_local_credits(s, vc) +
+                    up.vc_occupancy(Direction::kLocal, vc) +
+                    up.pending_arrivals_for(Direction::kLocal, vc);
+                if (ledger != depth) {
+                    std::ostringstream os;
+                    os << "credit leak on subnet " << s
+                       << " NI local link at node " << n << " vc " << vc
+                       << ": NI credits " << ni.local_credit_count(s, vc)
+                       << " + in-flight "
+                       << ni.pending_local_credits(s, vc) << " + buffered "
+                       << up.vc_occupancy(Direction::kLocal, vc)
+                       << " + arriving "
+                       << up.pending_arrivals_for(Direction::kLocal, vc)
+                       << " != depth " << depth;
+                    report(InvariantViolation::Kind::kCreditConservation,
+                           now, os.str());
+                }
+            }
+        }
+    }
+}
+
+void
+InvariantChecker::check_gating_legality(const MultiNoc &noc, Cycle now)
+{
+    const bool catnap_gating = noc.config().gating == GatingKind::kCatnap;
+    const int t_wakeup = noc.subnet_params().t_wakeup;
+    const int nodes = noc.num_nodes();
+    for (SubnetId s = 0; s < noc.num_subnets(); ++s) {
+        for (NodeId n = 0; n < nodes; ++n) {
+            const Router &r = noc.router(s, n);
+            const PowerState cur = r.power_state();
+
+            if (catnap_gating && s == 0 && cur != PowerState::kActive) {
+                std::ostringstream os;
+                os << "subnet 0 router " << n
+                   << " left Active under the Catnap policy (state "
+                   << power_state_name(cur) << ")";
+                report(InvariantViolation::Kind::kGating, now, os.str());
+            }
+            if (cur == PowerState::kSleep &&
+                (!r.buffers_empty() || r.pending_arrivals() > 0)) {
+                std::ostringstream os;
+                os << "sleeping router " << n << " subnet " << s
+                   << " holds flits (buffered " << r.total_occupancy()
+                   << ", arriving " << r.pending_arrivals() << ")";
+                report(InvariantViolation::Kind::kGating, now, os.str());
+            }
+            if (!shadow_valid_)
+                continue;
+            const PowerState prev = prev_power_
+                [static_cast<std::size_t>(s) *
+                     static_cast<std::size_t>(nodes) +
+                 static_cast<std::size_t>(n)];
+            if (prev == PowerState::kSleep && cur == PowerState::kWakeup &&
+                r.wake_done_cycle() !=
+                    now + static_cast<Cycle>(t_wakeup)) {
+                std::ostringstream os;
+                os << "router " << n << " subnet " << s
+                   << " scheduled wake completion at "
+                   << r.wake_done_cycle() << " instead of now + t_wakeup = "
+                   << now + static_cast<Cycle>(t_wakeup);
+                report(InvariantViolation::Kind::kGating, now, os.str());
+            }
+            if (prev == PowerState::kSleep && cur == PowerState::kActive) {
+                std::ostringstream os;
+                os << "router " << n << " subnet " << s
+                   << " jumped Sleep -> Active without a Wakeup phase";
+                report(InvariantViolation::Kind::kGating, now, os.str());
+            }
+            if (prev == PowerState::kWakeup && cur == PowerState::kActive &&
+                t_wakeup > 0 && now != r.wake_done_cycle()) {
+                std::ostringstream os;
+                os << "router " << n << " subnet " << s
+                   << " completed wake-up at " << now
+                   << " instead of the scheduled " << r.wake_done_cycle();
+                report(InvariantViolation::Kind::kGating, now, os.str());
+            }
+        }
+    }
+}
+
+void
+InvariantChecker::check_congestion_causality(const MultiNoc &noc, Cycle now)
+{
+    const CongestionState &cong = noc.congestion();
+    if (cong.config().metric != CongestionMetric::kBufferMax ||
+        !shadow_valid_) {
+        return;
+    }
+    const double threshold = cong.config().threshold;
+    const int nodes = noc.num_nodes();
+    for (SubnetId s = 0; s < noc.num_subnets(); ++s) {
+        for (NodeId n = 0; n < nodes; ++n) {
+            const auto idx = static_cast<std::size_t>(s) *
+                                 static_cast<std::size_t>(nodes) +
+                             static_cast<std::size_t>(n);
+            if (prev_lcs_[idx] || !cong.lcs(n, s))
+                continue; // not a rising edge
+            const int bfm = noc.router(s, n).max_port_occupancy();
+            if (static_cast<double>(bfm) <= threshold) {
+                std::ostringstream os;
+                os << "LCS rose for node " << n << " subnet " << s
+                   << " but BFM " << bfm << " <= threshold " << threshold;
+                report(InvariantViolation::Kind::kCongestion, now,
+                       os.str());
+            }
+        }
+    }
+}
+
+void
+InvariantChecker::check_forward_progress(const MultiNoc &noc, Cycle now)
+{
+    std::uint64_t progress = noc.metrics().injected_flits() +
+                             noc.metrics().ejected_network_flits() +
+                             noc.metrics().ejected_packets();
+    for (SubnetId s = 0; s < noc.num_subnets(); ++s)
+        for (NodeId n = 0; n < noc.num_nodes(); ++n)
+            progress += noc.router(s, n).switched_flits();
+
+    if (noc.quiescent() || progress != last_progress_value_ ||
+        !shadow_valid_) {
+        last_progress_value_ = progress;
+        last_progress_cycle_ = now;
+        return;
+    }
+    if (now - last_progress_cycle_ < opts_.watchdog_cycles)
+        return;
+
+    std::ostringstream os;
+    os << "no forward progress for " << (now - last_progress_cycle_)
+       << " cycles with work pending;";
+    for (SubnetId s = 0; s < noc.num_subnets(); ++s) {
+        int sleeping = 0, waking = 0, buffered = 0;
+        for (NodeId n = 0; n < noc.num_nodes(); ++n) {
+            const Router &r = noc.router(s, n);
+            sleeping += r.power_state() == PowerState::kSleep ? 1 : 0;
+            waking += r.power_state() == PowerState::kWakeup ? 1 : 0;
+            buffered += r.total_occupancy();
+        }
+        os << " subnet " << s << ": " << sleeping << " asleep, " << waking
+           << " waking, " << buffered << " flits buffered;";
+    }
+    std::uint64_t stashed = 0, queued = 0;
+    for (NodeId n = 0; n < noc.num_nodes(); ++n) {
+        stashed += noc.ni(n).stash_packets();
+        queued += noc.ni(n).inj_queue_packets();
+    }
+    os << " NIs: " << stashed << " stashed, " << queued
+       << " queued packets";
+    report(InvariantViolation::Kind::kWatchdog, now, os.str());
+    // Tripping once is enough; restart the horizon so a non-aborting
+    // checker does not re-report every subsequent cycle.
+    last_progress_cycle_ = now;
+}
+
+void
+InvariantChecker::capture_shadow(const MultiNoc &noc)
+{
+    const auto total = static_cast<std::size_t>(noc.num_subnets()) *
+                       static_cast<std::size_t>(noc.num_nodes());
+    prev_power_.resize(total);
+    prev_lcs_.resize(total);
+    for (SubnetId s = 0; s < noc.num_subnets(); ++s) {
+        for (NodeId n = 0; n < noc.num_nodes(); ++n) {
+            const auto idx = static_cast<std::size_t>(s) *
+                                 static_cast<std::size_t>(noc.num_nodes()) +
+                             static_cast<std::size_t>(n);
+            prev_power_[idx] = noc.router(s, n).power_state();
+            prev_lcs_[idx] = noc.congestion().lcs(n, s) ? 1 : 0;
+        }
+    }
+    shadow_valid_ = true;
+}
+
+void
+InvariantChecker::report(InvariantViolation::Kind kind, Cycle now,
+                         std::string message)
+{
+    violations_.push_back(InvariantViolation{kind, now, message});
+    if (!opts_.abort_on_violation)
+        return;
+    if (trace_ && trace_->size() > 0) {
+        std::cerr << "--- invariant engine: newest trace events ---\n";
+        const std::size_t first =
+            trace_->size() > kDumpEvents ? trace_->size() - kDumpEvents : 0;
+        EventTrace tail(kDumpEvents);
+        for (std::size_t i = first; i < trace_->size(); ++i)
+            tail.on_event(trace_->at(i));
+        write_jsonl(std::cerr, tail);
+        std::cerr << "--- end trace ---\n";
+    }
+    CATNAP_PANIC("invariant violated [", invariant_kind_name(kind),
+                 "] at cycle ", now, ": ", message);
+}
+
+} // namespace catnap

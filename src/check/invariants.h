@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Runtime invariant engine (DESIGN.md §9). Asserts, at the end of every
+ * simulated cycle, the structural properties the Catnap results rest on:
+ *
+ *  - flit conservation: every flit injected at a source NI is either
+ *    still in flight (buffered, queued as an arrival, or awaiting
+ *    ejection) or has been ejected at its destination NI;
+ *  - per-link credit conservation: for every (link, VC), credits held
+ *    upstream + credits in flight + flits occupying or approaching the
+ *    downstream buffer equal the buffer depth — a credit leak in either
+ *    direction deadlocks or overflows the link eventually;
+ *  - gating legality: under the Catnap policy subnet 0 never sleeps; a
+ *    sleeping router holds no flits; a wake-up takes exactly t_wakeup
+ *    cycles; and an LCS rising edge implies the congestion metric really
+ *    exceeded its threshold (checked for the BFM metric);
+ *  - forward progress: if any packet is queued, streaming, or in flight
+ *    and nothing moves for watchdog_cycles, the network is declared
+ *    deadlocked and the attached observability trace is dumped.
+ *
+ * The engine is a passive observer: it only calls const accessors, so it
+ * can run against a MultiNoc it does not own. A build with
+ * -DCATNAP_CHECKS=ON makes every MultiNoc construct its own checker and
+ * run it at the end of each tick(); in a normal build the engine is
+ * still available for tests but nothing invokes it per cycle (zero
+ * cost). Violations panic by default; tests disable abort_on_violation
+ * and inspect the collected violation list instead.
+ */
+#ifndef CATNAP_CHECK_INVARIANTS_H
+#define CATNAP_CHECK_INVARIANTS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace catnap {
+
+class MultiNoc;
+class EventTrace;
+
+/** One detected invariant violation. */
+struct InvariantViolation
+{
+    /** Which invariant family tripped. */
+    enum class Kind : std::int8_t {
+        kFlitConservation = 0,   ///< injected != in-flight + ejected
+        kCreditConservation = 1, ///< a (link, VC) credit ledger is off
+        kGating = 2,             ///< illegal power-FSM state/transition
+        kCongestion = 3,         ///< LCS asserted without cause
+        kWatchdog = 4,           ///< no forward progress (deadlock)
+    };
+
+    Kind kind;
+    Cycle cycle;         ///< cycle at which the check ran
+    std::string message; ///< human-readable diagnosis
+};
+
+/** Stable name for an invariant kind (test assertions, reports). */
+const char *invariant_kind_name(InvariantViolation::Kind k);
+
+/**
+ * Checks the invariants above against a MultiNoc. Keeps shadow state
+ * (previous power states, previous LCS bits, progress counters) across
+ * run() calls; use one checker per MultiNoc instance.
+ */
+class InvariantChecker
+{
+  public:
+    struct Options
+    {
+        /**
+         * Cycles between the O(links x VCs) conservation scans; the
+         * cheap per-router FSM checks run every cycle regardless. 1
+         * scans every cycle (tests); the auto-installed checker of a
+         * CATNAP_CHECKS build uses the default below.
+         */
+        int conservation_stride = 16;
+
+        /**
+         * Cycles without any flit movement, while work is pending,
+         * before the deadlock watchdog trips.
+         */
+        Cycle watchdog_cycles = 50000;
+
+        /** Panic on the first violation (tests turn this off). */
+        bool abort_on_violation = true;
+    };
+
+    InvariantChecker();
+    explicit InvariantChecker(Options opts);
+
+    /**
+     * Attaches the observability ring buffer whose retained events are
+     * dumped (as JSONL, to stderr) when a violation aborts the run.
+     */
+    void set_trace(const EventTrace *trace) { trace_ = trace; }
+
+    /**
+     * Runs every applicable invariant against @p noc. Call at the end
+     * of cycle @p now, after the policy phase (MultiNoc::tick does this
+     * automatically in CATNAP_CHECKS builds).
+     */
+    void run(const MultiNoc &noc, Cycle now);
+
+    /** Violations collected so far (non-aborting mode). */
+    const std::vector<InvariantViolation> &violations() const
+    {
+        return violations_;
+    }
+
+    /** Number of run() calls performed. */
+    std::uint64_t cycles_checked() const { return cycles_checked_; }
+
+    /** Forgets collected violations and shadow state. */
+    void reset();
+
+  private:
+    void check_flit_conservation(const MultiNoc &noc, Cycle now);
+    void check_credit_conservation(const MultiNoc &noc, Cycle now);
+    void check_gating_legality(const MultiNoc &noc, Cycle now);
+    void check_congestion_causality(const MultiNoc &noc, Cycle now);
+    void check_forward_progress(const MultiNoc &noc, Cycle now);
+    void capture_shadow(const MultiNoc &noc);
+    void report(InvariantViolation::Kind kind, Cycle now,
+                std::string message);
+
+    Options opts_;
+    const EventTrace *trace_ = nullptr;
+    std::vector<InvariantViolation> violations_;
+    std::uint64_t cycles_checked_ = 0;
+
+    // Shadow state captured at the end of the previous run() call.
+    bool shadow_valid_ = false;
+    std::vector<PowerState> prev_power_; // [subnet][node]
+    std::vector<char> prev_lcs_;         // [subnet][node]
+    std::uint64_t last_progress_value_ = 0;
+    Cycle last_progress_cycle_ = 0;
+};
+
+} // namespace catnap
+
+#endif // CATNAP_CHECK_INVARIANTS_H

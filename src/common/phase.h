@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Two-phase-discipline annotations checked by `catnap_lint` (rule L2).
+ *
+ * Every cycle of the simulation runs in phases (see noc/router.h):
+ * an *evaluate* phase that may only read state committed in earlier
+ * cycles and queue effects, followed by a *commit* phase that applies
+ * queued effects, and a policy phase that drives the power FSMs. The
+ * cycle-accuracy and router-iteration-order independence of the whole
+ * simulator rests on no component mutating committed state during the
+ * evaluate phase.
+ *
+ * The macros below expand to nothing at compile time; they exist so the
+ * static checker can build a table of read-phase and write-phase
+ * functions and flag a read-phase function that calls a write-phase one
+ * (a same-cycle read-after-write hazard). Annotate:
+ *
+ *  - CATNAP_PHASE_READ  on functions that run in the evaluate phase.
+ *    They may read committed state, queue deferred effects (arrivals,
+ *    credits), and raise deferred-read signals (wake requests, packet
+ *    announcements), but must not apply queued effects or advance FSMs.
+ *  - CATNAP_PHASE_WRITE on functions that run in the commit or policy
+ *    phase and mutate committed state (applying arrivals/credits,
+ *    power-state transitions, latching congestion status).
+ *
+ * `catnap_lint` additionally requires every `evaluate`/`commit` method
+ * declaration to carry one of the two annotations, so new components
+ * opt into the check by construction.
+ */
+#ifndef CATNAP_COMMON_PHASE_H
+#define CATNAP_COMMON_PHASE_H
+
+/** Marks a function as evaluate-phase (reads committed state only). */
+#define CATNAP_PHASE_READ
+
+/** Marks a function as commit/policy-phase (mutates committed state). */
+#define CATNAP_PHASE_WRITE
+
+#endif // CATNAP_COMMON_PHASE_H

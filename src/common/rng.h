@@ -60,8 +60,9 @@ class Rng
     double
     next_double()
     {
-        // 53 high bits -> double mantissa.
-        return (next_u64() >> 11) * (1.0 / 9007199254740992.0);
+        // 53 high bits -> double mantissa (exactly representable).
+        return static_cast<double>(next_u64() >> 11) *
+               (1.0 / 9007199254740992.0);
     }
 
     /** Returns a uniform integer in [0, bound). @p bound must be > 0. */

@@ -38,6 +38,9 @@ using PacketId = std::uint64_t;
 /** Sentinel for "no node". */
 inline constexpr NodeId kInvalidNode = -1;
 
+/** Sentinel for "no subnet chosen" (selector asks the NI to wait). */
+inline constexpr SubnetId kNoSubnet = -1;
+
 /** Sentinel for "no VC allocated yet". */
 inline constexpr VcId kInvalidVc = -1;
 

@@ -5,6 +5,7 @@
 #ifndef CATNAP_NOC_ARBITER_H
 #define CATNAP_NOC_ARBITER_H
 
+#include <optional>
 #include <vector>
 
 #include "common/log.h"
@@ -31,22 +32,24 @@ class RoundRobinArbiter
      *
      * @param requests request vector; requests.size() must equal the
      *        arbiter width
-     * @return the granted index, or -1 if no request is asserted. The
-     *         rotation pointer advances only on a grant.
+     * @return the granted index, or std::nullopt if no request is
+     *         asserted (no untyped -1 sentinel that could be mixed into
+     *         unsigned port-index arithmetic). The rotation pointer
+     *         advances only on a grant.
      */
-    int
+    std::optional<int>
     arbitrate(const std::vector<bool> &requests)
     {
         CATNAP_ASSERT(static_cast<int>(requests.size()) == n_,
                       "request vector width mismatch");
         for (int i = 0; i < n_; ++i) {
             const int idx = (next_ + i) % n_;
-            if (requests[idx]) {
+            if (requests[static_cast<std::size_t>(idx)]) {
                 next_ = (idx + 1) % n_;
                 return idx;
             }
         }
-        return -1;
+        return std::nullopt;
     }
 
     /** Number of requestors. */

@@ -74,6 +74,18 @@ class NetMetrics
             subnet_series_[static_cast<std::size_t>(s)].add(now, 1.0);
     }
 
+    /**
+     * A flit left subnet @p s at its destination NI (network path only;
+     * loopback flits never touch this counter). Pairs with
+     * note_injected_flit() for the flit-conservation invariant.
+     */
+    void
+    note_ejected_flit(SubnetId s)
+    {
+        (void)s;
+        ++ejected_network_flits_;
+    }
+
     /** A whole packet finished ejecting at its destination NI. */
     void
     note_ejected_packet(Cycle created, Cycle injected, Cycle now, int flits,
@@ -111,6 +123,12 @@ class NetMetrics
     std::uint64_t injected_flits() const { return injected_flits_; }
     std::uint64_t ejected_packets() const { return ejected_packets_; }
     std::uint64_t ejected_flits() const { return ejected_flits_; }
+
+    /** Flits that left the network at destination NIs (no loopbacks). */
+    std::uint64_t ejected_network_flits() const
+    {
+        return ejected_network_flits_;
+    }
 
     /** Flits injected into subnet @p s since construction. */
     std::uint64_t
@@ -156,6 +174,7 @@ class NetMetrics
     std::uint64_t injected_flits_ = 0;
     std::uint64_t ejected_packets_ = 0;
     std::uint64_t ejected_flits_ = 0;
+    std::uint64_t ejected_network_flits_ = 0;
     std::uint64_t offered_packets_window_ = 0;
     std::uint64_t offered_flits_window_ = 0;
     std::uint64_t ejected_packets_window_ = 0;

@@ -2,7 +2,9 @@
 
 #include <sstream>
 
+#include "check/invariants.h"
 #include "common/log.h"
+#include "obs/trace_buffer.h"
 
 namespace catnap {
 
@@ -126,7 +128,13 @@ MultiNoc::MultiNoc(const MultiNocConfig &cfg)
                                    [static_cast<std::size_t>(n)].get());
         gating_->attach(s, std::move(ptrs));
     }
+
+#if defined(CATNAP_CHECKS) && CATNAP_CHECKS
+    checker_ = std::make_unique<InvariantChecker>();
+#endif
 }
+
+MultiNoc::~MultiNoc() = default;
 
 void
 MultiNoc::set_event_sink(EventSink *sink)
@@ -139,6 +147,10 @@ MultiNoc::set_event_sink(EventSink *sink)
         ni->set_sink(sink);
     congestion_.set_sink(sink);
     selector_->set_sink(sink);
+#if defined(CATNAP_CHECKS) && CATNAP_CHECKS
+    // If the sink is the standard ring buffer, dump it on violations.
+    checker_->set_trace(dynamic_cast<EventTrace *>(sink));
+#endif
 }
 
 void
@@ -164,6 +176,10 @@ MultiNoc::tick()
     congestion_.update(now);
     gating_->step(now);
     metrics_.roll_series(now);
+
+#if defined(CATNAP_CHECKS) && CATNAP_CHECKS
+    checker_->run(*this, now);
+#endif
 
     ++now_;
 }

@@ -16,6 +16,7 @@
 #include "catnap/congestion.h"
 #include "catnap/gating.h"
 #include "catnap/subnet_select.h"
+#include "common/phase.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "noc/metrics.h"
@@ -100,13 +101,16 @@ MultiNocConfig multi_noc_config(int subnets = 4,
  * network interfaces, congestion detection, and policies. Drive it by
  * offering packets to NIs and calling tick().
  */
+class InvariantChecker;
+
 class MultiNoc
 {
   public:
     explicit MultiNoc(const MultiNocConfig &cfg);
+    ~MultiNoc();
 
     /** Advances the network by one cycle (evaluate/commit/policy). */
-    void tick();
+    CATNAP_PHASE_WRITE void tick();
 
     /**
      * Attaches a trace-event sink to every component (routers, NIs, the
@@ -219,6 +223,11 @@ class MultiNoc
     std::unique_ptr<SubnetSelector> selector_;
     std::unique_ptr<GatingPolicy> gating_;
     EventSink *sink_ = nullptr;
+
+    /** Auto-installed invariant engine; non-null only when the build
+     * enables CATNAP_CHECKS (the hook in tick() is compiled out
+     * otherwise, so a normal build pays nothing). */
+    std::unique_ptr<InvariantChecker> checker_;
 
     Cycle now_ = 0;
 };

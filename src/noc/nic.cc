@@ -59,6 +59,25 @@ NetworkInterface::vc_owner(SubnetId s, VcId vc)
                         + static_cast<std::size_t>(vc)];
 }
 
+int
+NetworkInterface::local_credit_count(SubnetId s, VcId vc) const
+{
+    return local_credits_[static_cast<std::size_t>(s)
+                          * static_cast<std::size_t>(params_.num_vcs)
+                          + static_cast<std::size_t>(vc)];
+}
+
+int
+NetworkInterface::pending_local_credits(SubnetId s, VcId vc) const
+{
+    int count = 0;
+    for (const auto &c : credit_events_) {
+        if (c.subnet == s && c.vc == vc)
+            ++count;
+    }
+    return count;
+}
+
 void
 NetworkInterface::offer_packet(const PacketDesc &pkt)
 {
@@ -240,6 +259,8 @@ NetworkInterface::commit(Cycle now)
             }
             routers_[static_cast<std::size_t>(e.subnet)]->activity()
                 .ni_flits += 1;
+            if (metrics_)
+                metrics_->note_ejected_flit(e.subnet);
             if (sink_)
                 sink_->on_event({now, EventKind::kFlitEject, node_,
                                  e.subnet, e.flit.seq,

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/phase.h"
 #include "common/types.h"
 #include "noc/buffer.h"
 #include "noc/flit.h"
@@ -77,10 +78,10 @@ class NetworkInterface
     void offer_packet(const PacketDesc &pkt);
 
     /** Phase 1: queue refill, subnet selection, flit injection. */
-    void evaluate(Cycle now);
+    CATNAP_PHASE_READ void evaluate(Cycle now);
 
     /** Phase 2: apply matured ejections, credits, and loopbacks. */
-    void commit(Cycle now);
+    CATNAP_PHASE_WRITE void commit(Cycle now);
 
     // -- Observability ----------------------------------------------------
 
@@ -130,6 +131,20 @@ class NetworkInterface
     flits_of(const PacketDesc &pkt) const
     {
         return flits_per_packet(pkt.size_bits, params_.link_width_bits);
+    }
+
+    // -- Invariant-engine accessors (src/check) ---------------------------
+
+    /** Mirrored credit count for the local port of subnet @p s, VC @p vc. */
+    int local_credit_count(SubnetId s, VcId vc) const;
+
+    /** In-flight local-port credits for subnet @p s, VC @p vc. */
+    int pending_local_credits(SubnetId s, VcId vc) const;
+
+    /** Ejected flits not yet applied (in the eject event queue). */
+    int pending_eject_flits() const
+    {
+        return static_cast<int>(eject_events_.size());
     }
 
   private:
@@ -185,9 +200,9 @@ class NetworkInterface
         PacketDesc pkt;
     };
 
-    void refill_queue(Cycle now);
-    void try_assign_head(Cycle now);
-    void stream_slots(Cycle now);
+    CATNAP_PHASE_READ void refill_queue(Cycle now);
+    CATNAP_PHASE_READ void try_assign_head(Cycle now);
+    CATNAP_PHASE_READ void stream_slots(Cycle now);
     int &credits(SubnetId s, VcId vc);
     std::int64_t &vc_owner(SubnetId s, VcId vc);
 

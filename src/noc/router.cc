@@ -673,4 +673,38 @@ Router::output_credits(Direction p, VcId vc) const
     return out_credits_[fifo_index(port_index(p), vc)];
 }
 
+int
+Router::vc_occupancy(Direction p, VcId vc) const
+{
+    return static_cast<int>(vc_fifo(port_index(p), vc).size());
+}
+
+int
+Router::pending_arrivals_for(Direction p, VcId vc) const
+{
+    int count = 0;
+    for (const auto &a : arrivals_) {
+        if (a.inport == p && a.flit.vc == vc)
+            ++count;
+    }
+    return count;
+}
+
+int
+Router::pending_credits_for(Direction p, VcId vc) const
+{
+    int count = 0;
+    for (const auto &c : credit_events_) {
+        if (c.port == p && c.vc == vc)
+            ++count;
+    }
+    return count;
+}
+
+void
+Router::corrupt_output_credit_for_test(Direction p, VcId vc, int delta)
+{
+    out_credits_[fifo_index(port_index(p), vc)] += delta;
+}
+
 } // namespace catnap

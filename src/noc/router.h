@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/phase.h"
 #include "common/types.h"
 #include "noc/buffer.h"
 #include "noc/flit.h"
@@ -83,10 +84,10 @@ class Router
     // ------------------------------------------------------------------
 
     /** Phase 1: VC allocation + switch allocation + traversal decisions. */
-    void evaluate(Cycle now);
+    CATNAP_PHASE_READ void evaluate(Cycle now);
 
     /** Phase 2: apply queued arrivals and credits; advance power FSM. */
-    void commit(Cycle now);
+    CATNAP_PHASE_WRITE void commit(Cycle now);
 
     // ------------------------------------------------------------------
     // Upstream-facing interface (called by neighbours / the NI)
@@ -139,8 +140,8 @@ class Router
     bool port_can_sleep(Direction inport) const;
 
     /** Puts @p inport to sleep / starts waking it (policy phase). */
-    void port_enter_sleep(Direction inport, Cycle now);
-    void port_begin_wakeup(Direction inport, Cycle now);
+    CATNAP_PHASE_WRITE void port_enter_sleep(Direction inport, Cycle now);
+    CATNAP_PHASE_WRITE void port_begin_wakeup(Direction inport, Cycle now);
 
     /** True if a wake signal arrived for @p inport this cycle. */
     bool port_wake_requested(Direction inport) const;
@@ -175,12 +176,12 @@ class Router
     bool can_sleep() const;
 
     /** Transitions Active -> Sleep (policy phase). */
-    void enter_sleep(Cycle now);
+    CATNAP_PHASE_WRITE void enter_sleep(Cycle now);
 
     /** Starts Sleep -> Wakeup -> Active; no-op unless sleeping. @p reason
      * is recorded on the emitted trace event only. */
-    void begin_wakeup(Cycle now,
-                      WakeReason reason = WakeReason::kLookahead);
+    CATNAP_PHASE_WRITE void
+    begin_wakeup(Cycle now, WakeReason reason = WakeReason::kLookahead);
 
     /** Accounts one cycle of residency in the current power state. */
     void account_power_cycle();
@@ -244,6 +245,28 @@ class Router
     /** Announced packets not yet arrived (tests). */
     int expected_packets() const { return expected_packets_; }
 
+    // ------------------------------------------------------------------
+    // Invariant-engine accessors (src/check): per-link conservation
+    // arithmetic needs VC-granular visibility into buffers and the
+    // in-flight arrival/credit queues.
+    // ------------------------------------------------------------------
+
+    /** Flits buffered in VC @p vc of input port @p p. */
+    int vc_occupancy(Direction p, VcId vc) const;
+
+    /** Queued (not yet committed) arrivals for input port @p p, VC @p vc. */
+    int pending_arrivals_for(Direction p, VcId vc) const;
+
+    /** In-flight credits queued toward output port @p p, VC @p vc. */
+    int pending_credits_for(Direction p, VcId vc) const;
+
+    /**
+     * Test-only fault injection: skews the credit counter of output port
+     * @p p, VC @p vc by @p delta so fault-injection tests can prove the
+     * credit-conservation invariant fires. Never call outside tests.
+     */
+    void corrupt_output_credit_for_test(Direction p, VcId vc, int delta);
+
   private:
     /** Per-input-VC packet-in-progress state. */
     struct InputVcState
@@ -270,10 +293,10 @@ class Router
         VcId vc;
     };
 
-    void run_vc_allocation(Cycle now);
-    void run_switch_allocation(Cycle now);
-    void apply_arrivals(Cycle now);
-    void apply_credits(Cycle now);
+    CATNAP_PHASE_READ void run_vc_allocation(Cycle now);
+    CATNAP_PHASE_READ void run_switch_allocation(Cycle now);
+    CATNAP_PHASE_WRITE void apply_arrivals(Cycle now);
+    CATNAP_PHASE_WRITE void apply_credits(Cycle now);
 
     RingFifo<Flit> &vc_fifo(int port, int vc) { return fifos_[fifo_index(port, vc)]; }
     const RingFifo<Flit> &vc_fifo(int port, int vc) const

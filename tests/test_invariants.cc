@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the runtime invariant engine (src/check): clean runs fire
+ * nothing, and each injected fault is caught by the matching invariant.
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "check/invariants.h"
+#include "noc/multinoc.h"
+#include "traffic/synthetic.h"
+
+namespace catnap {
+namespace {
+
+InvariantChecker::Options
+test_options()
+{
+    InvariantChecker::Options opts;
+    opts.conservation_stride = 1; // scan every cycle in tests
+    opts.abort_on_violation = false;
+    return opts;
+}
+
+/** Mirrors the CATNAP_CHECKS hook: check the cycle tick() completed. */
+void
+tick_checked(MultiNoc &net, InvariantChecker &chk)
+{
+    net.tick();
+    chk.run(net, net.now() - 1);
+}
+
+// The fault-injection tests below corrupt state and then run the
+// checker against the frozen network, WITHOUT ticking: in a
+// CATNAP_CHECKS build tick() runs the MultiNoc's own aborting checker,
+// which would panic before the external one under test ever looked.
+
+TEST(Invariants, CleanIdleNetwork)
+{
+    MultiNoc net(multi_noc_config(4, GatingKind::kAlwaysOn));
+    InvariantChecker chk(test_options());
+    for (int c = 0; c < 200; ++c)
+        tick_checked(net, chk);
+    EXPECT_TRUE(chk.violations().empty());
+    EXPECT_EQ(chk.cycles_checked(), 200u);
+}
+
+TEST(Invariants, CleanUnderTraffic)
+{
+    MultiNoc net(multi_noc_config(4, GatingKind::kAlwaysOn));
+    SyntheticConfig traffic;
+    traffic.load = 0.2;
+    SyntheticTraffic gen(&net, traffic, 23);
+    InvariantChecker chk(test_options());
+    for (int c = 0; c < 2000; ++c) {
+        gen.step(net.now());
+        tick_checked(net, chk);
+    }
+    for (const auto &v : chk.violations())
+        ADD_FAILURE() << invariant_kind_name(v.kind) << ": " << v.message;
+    EXPECT_GT(net.metrics().injected_flits(), 0u);
+}
+
+TEST(Invariants, CleanUnderCatnapGating)
+{
+    // Power-gating transitions (sleep, wake, subnet-0 pinning) must all
+    // be legal while traffic ebbs and flows.
+    MultiNoc net(multi_noc_config(4, GatingKind::kCatnap));
+    SyntheticConfig traffic;
+    traffic.load = 0.1;
+    SyntheticTraffic gen(&net, traffic, 31);
+    InvariantChecker chk(test_options());
+    for (int c = 0; c < 3000; ++c) {
+        gen.step(net.now());
+        tick_checked(net, chk);
+    }
+    for (const auto &v : chk.violations())
+        ADD_FAILURE() << invariant_kind_name(v.kind) << ": " << v.message;
+}
+
+TEST(Invariants, DetectsCreditCorruption)
+{
+    MultiNoc net(multi_noc_config(4, GatingKind::kAlwaysOn));
+    InvariantChecker chk(test_options());
+    tick_checked(net, chk);
+    ASSERT_TRUE(chk.violations().empty());
+
+    // Leak one credit on node 0's east link: the (link, VC) ledger no
+    // longer sums to the buffer depth.
+    net.router(0, 0).corrupt_output_credit_for_test(Direction::kEast, 0, -1);
+    chk.run(net, net.now());
+    ASSERT_FALSE(chk.violations().empty());
+    EXPECT_EQ(chk.violations().front().kind,
+              InvariantViolation::Kind::kCreditConservation);
+}
+
+TEST(Invariants, DetectsFlitAccountingMismatch)
+{
+    MultiNoc net(multi_noc_config(4, GatingKind::kAlwaysOn));
+    InvariantChecker chk(test_options());
+    tick_checked(net, chk);
+    ASSERT_TRUE(chk.violations().empty());
+
+    // Claim a flit was injected that never entered any buffer.
+    net.metrics().note_injected_flit(0, net.now());
+    chk.run(net, net.now());
+    ASSERT_FALSE(chk.violations().empty());
+    EXPECT_EQ(chk.violations().front().kind,
+              InvariantViolation::Kind::kFlitConservation);
+}
+
+TEST(Invariants, DetectsIllegalSubnetZeroSleep)
+{
+    MultiNoc net(multi_noc_config(4, GatingKind::kCatnap));
+    InvariantChecker chk(test_options());
+    tick_checked(net, chk);
+    ASSERT_TRUE(chk.violations().empty());
+
+    // Subnet 0 must stay Active under the Catnap policy; force a router
+    // asleep behind the policy's back.
+    net.router(0, 3).enter_sleep(net.now());
+    chk.run(net, net.now());
+    ASSERT_FALSE(chk.violations().empty());
+    EXPECT_EQ(chk.violations().front().kind,
+              InvariantViolation::Kind::kGating);
+}
+
+TEST(Invariants, WatchdogTripsWhenNothingMoves)
+{
+    MultiNoc net(multi_noc_config(2, GatingKind::kAlwaysOn));
+    PacketDesc pkt;
+    pkt.id = 1;
+    pkt.src = 0;
+    pkt.dst = net.num_nodes() - 1;
+    pkt.size_bits = 512;
+    net.offer_packet(pkt); // work is pending, so the net is not quiescent
+
+    InvariantChecker::Options opts = test_options();
+    opts.watchdog_cycles = 100;
+    InvariantChecker chk(opts);
+    // Run the checker against a frozen network: no tick(), no progress.
+    for (Cycle c = 0; c < 150; ++c)
+        chk.run(net, c);
+    ASSERT_FALSE(chk.violations().empty());
+    EXPECT_EQ(chk.violations().front().kind,
+              InvariantViolation::Kind::kWatchdog);
+    EXPECT_EQ(chk.violations().front().cycle, 100u);
+}
+
+TEST(Invariants, WatchdogStaysQuietWhileProgressing)
+{
+    MultiNoc net(multi_noc_config(2, GatingKind::kAlwaysOn));
+    SyntheticConfig traffic;
+    traffic.load = 0.05;
+    SyntheticTraffic gen(&net, traffic, 7);
+    InvariantChecker::Options opts = test_options();
+    opts.watchdog_cycles = 100; // far below the run length
+    InvariantChecker chk(opts);
+    for (int c = 0; c < 2000; ++c) {
+        gen.step(net.now());
+        tick_checked(net, chk);
+    }
+    for (const auto &v : chk.violations())
+        ADD_FAILURE() << invariant_kind_name(v.kind) << ": " << v.message;
+}
+
+TEST(Invariants, ResetForgetsViolationsAndShadow)
+{
+    MultiNoc net(multi_noc_config(4, GatingKind::kAlwaysOn));
+    InvariantChecker chk(test_options());
+    net.metrics().note_injected_flit(0, 0);
+    chk.run(net, 0);
+    ASSERT_FALSE(chk.violations().empty());
+    chk.reset();
+    EXPECT_TRUE(chk.violations().empty());
+    EXPECT_EQ(chk.cycles_checked(), 0u);
+}
+
+TEST(Invariants, KindNamesAreStable)
+{
+    EXPECT_STREQ(
+        invariant_kind_name(InvariantViolation::Kind::kFlitConservation),
+        "flit-conservation");
+    EXPECT_STREQ(
+        invariant_kind_name(InvariantViolation::Kind::kCreditConservation),
+        "credit-conservation");
+    EXPECT_STREQ(invariant_kind_name(InvariantViolation::Kind::kGating),
+                 "gating-legality");
+    EXPECT_STREQ(invariant_kind_name(InvariantViolation::Kind::kCongestion),
+                 "congestion-causality");
+    EXPECT_STREQ(invariant_kind_name(InvariantViolation::Kind::kWatchdog),
+                 "forward-progress");
+}
+
+TEST(Invariants, AbortingCheckerPanicsOnViolation)
+{
+    MultiNoc net(multi_noc_config(4, GatingKind::kAlwaysOn));
+    InvariantChecker chk; // default options: abort_on_violation = true
+    net.metrics().note_injected_flit(0, 0);
+    EXPECT_THROW(chk.run(net, 0), std::runtime_error);
+}
+
+} // namespace
+} // namespace catnap

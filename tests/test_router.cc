@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <optional>
 #include <set>
 
 #include "noc/arbiter.h"
@@ -158,8 +159,11 @@ TEST(RouterUnit, RoundRobinArbiterRotates)
     RoundRobinArbiter arb(4);
     std::vector<bool> req{true, true, true, true};
     std::set<int> grants;
-    for (int i = 0; i < 4; ++i)
-        grants.insert(arb.arbitrate(req));
+    for (int i = 0; i < 4; ++i) {
+        const std::optional<int> g = arb.arbitrate(req);
+        ASSERT_TRUE(g.has_value());
+        grants.insert(*g);
+    }
     EXPECT_EQ(grants.size(), 4u); // all requestors served in 4 rounds
 }
 
@@ -167,7 +171,7 @@ TEST(RouterUnit, ArbiterNoRequestsNoGrant)
 {
     RoundRobinArbiter arb(3);
     std::vector<bool> req{false, false, false};
-    EXPECT_EQ(arb.arbitrate(req), -1);
+    EXPECT_EQ(arb.arbitrate(req), std::nullopt);
     EXPECT_EQ(arb.priority(), 0); // pointer does not move on no-grant
 }
 

@@ -1,0 +1,643 @@
+/**
+ * @file
+ * catnap_lint: simulator-specific static checks for the Catnap codebase
+ * (DESIGN.md §9). Self-contained tokenizer-based pass — no compiler
+ * front-end required, so it runs anywhere the simulator builds. Three
+ * rule families:
+ *
+ *  L1 determinism — simulation results must be bit-identical across
+ *     runs and platforms (the golden-trace tests depend on it), so any
+ *     wall-clock, libc RNG, std::random engine, or unordered container
+ *     (iteration order is unspecified) in simulator code is flagged.
+ *     All randomness must flow through common/rng.h.
+ *
+ *  L2 two-phase discipline — functions annotated CATNAP_PHASE_READ
+ *     (evaluate phase: read committed state, queue effects) must not
+ *     call functions annotated CATNAP_PHASE_WRITE (commit/policy phase:
+ *     apply effects, advance FSMs); such a call is a same-cycle
+ *     read-after-write hazard that makes results depend on component
+ *     iteration order. Every `evaluate`/`commit` method declaration
+ *     must carry one of the annotations (common/phase.h).
+ *
+ *  L3 counter safety — Cycle is unsigned 64-bit; narrowing a cycle
+ *     expression into a small integral type truncates after ~2^31
+ *     cycles, and bare `-1` sentinels mixed into signed/unsigned index
+ *     arithmetic compare wrongly. Use named sentinels (kInvalidVc,
+ *     kNoSubnet) or std::optional instead.
+ *
+ * Suppress a finding with a trailing comment on the same line:
+ *     foo();  // catnap-lint: allow(L1)
+ *
+ * Usage:
+ *     catnap_lint [--rules L1,L2,L3] [--expect RULE] <files-or-dirs>...
+ *
+ * Exit status: 0 clean, 1 violations found, 2 usage/IO error. With
+ * --expect RULE the meaning inverts for fixtures: exit 0 iff at least
+ * one violation of RULE was found (used by the ctest fixture tests).
+ *
+ * Known limitations (tokenizer, not a compiler): raw string literals
+ * and macro-generated code are not understood; L2 matches functions by
+ * unqualified name.
+ */
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Token
+{
+    std::string text;
+    int line;
+};
+
+struct Violation
+{
+    std::string file;
+    int line;
+    std::string rule; // "L1", "L2", "L3"
+    std::string message;
+};
+
+struct SourceFile
+{
+    std::string path;
+    std::vector<Token> tokens;
+    std::map<int, std::set<std::string>> allowed; // line -> rule ids
+};
+
+/** Function names collected from CATNAP_PHASE_* annotations. */
+struct PhaseTable
+{
+    std::set<std::string> read_fns;
+    std::set<std::string> write_fns;
+};
+
+bool
+is_ident_char(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+is_ident_start(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Records `// catnap-lint: allow(L1,L3)` style suppressions found in
+ * @p line_text (searched before comment stripping).
+ */
+void
+collect_allows(const std::string &line_text, int line,
+               std::map<int, std::set<std::string>> &allowed)
+{
+    const std::string marker = "catnap-lint: allow(";
+    const auto pos = line_text.find(marker);
+    if (pos == std::string::npos)
+        return;
+    const auto open = pos + marker.size();
+    const auto close = line_text.find(')', open);
+    if (close == std::string::npos)
+        return;
+    std::string rules = line_text.substr(open, close - open);
+    std::string rule;
+    std::istringstream rs(rules);
+    while (std::getline(rs, rule, ',')) {
+        rule.erase(std::remove_if(rule.begin(), rule.end(), ::isspace),
+                   rule.end());
+        if (!rule.empty())
+            allowed[line].insert(rule);
+    }
+}
+
+/**
+ * Replaces comments and string/char literal contents with spaces while
+ * preserving line structure, then tokenizes. Two-character operators
+ * that the rules care about (::, ->, ==, !=, <=, >=, &&, ||, <<) are
+ * kept as single tokens.
+ */
+std::vector<Token>
+tokenize(const std::string &text)
+{
+    std::string clean = text;
+    enum class State { kCode, kLine, kBlock, kString, kChar };
+    State st = State::kCode;
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+        const char c = clean[i];
+        const char n = i + 1 < clean.size() ? clean[i + 1] : '\0';
+        switch (st) {
+          case State::kCode:
+            if (c == '/' && n == '/') {
+                st = State::kLine;
+                clean[i] = ' ';
+            } else if (c == '/' && n == '*') {
+                st = State::kBlock;
+                clean[i] = ' ';
+            } else if (c == '"') {
+                st = State::kString;
+            } else if (c == '\'') {
+                st = State::kChar;
+            }
+            break;
+          case State::kLine:
+            if (c == '\n')
+                st = State::kCode;
+            else
+                clean[i] = ' ';
+            break;
+          case State::kBlock:
+            if (c == '*' && n == '/') {
+                clean[i] = ' ';
+                clean[i + 1] = ' ';
+                ++i;
+                st = State::kCode;
+            } else if (c != '\n') {
+                clean[i] = ' ';
+            }
+            break;
+          case State::kString:
+          case State::kChar: {
+            const char quote = st == State::kString ? '"' : '\'';
+            if (c == '\\') {
+                clean[i] = ' ';
+                if (n != '\n' && i + 1 < clean.size())
+                    clean[i + 1] = ' ';
+                ++i;
+            } else if (c == quote) {
+                st = State::kCode;
+            } else if (c != '\n') {
+                clean[i] = ' ';
+            }
+            break;
+          }
+        }
+    }
+
+    static const std::set<std::string> kTwoCharOps = {
+        "::", "->", "==", "!=", "<=", ">=", "&&", "||", "<<",
+    };
+
+    std::vector<Token> tokens;
+    int line = 1;
+    for (std::size_t i = 0; i < clean.size();) {
+        const char c = clean[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (is_ident_start(c)) {
+            std::size_t j = i;
+            while (j < clean.size() && is_ident_char(clean[j]))
+                ++j;
+            tokens.push_back({clean.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < clean.size() &&
+                   (is_ident_char(clean[j]) || clean[j] == '.'))
+                ++j;
+            tokens.push_back({clean.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        if (i + 1 < clean.size() &&
+            kTwoCharOps.count(clean.substr(i, 2)) > 0) {
+            tokens.push_back({clean.substr(i, 2), line});
+            i += 2;
+            continue;
+        }
+        tokens.push_back({std::string(1, c), line});
+        ++i;
+    }
+    return tokens;
+}
+
+bool
+load_file(const std::string &path, SourceFile &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    out.path = path;
+    std::istringstream ls(text);
+    std::string line_text;
+    int line = 1;
+    while (std::getline(ls, line_text)) {
+        collect_allows(line_text, line, out.allowed);
+        ++line;
+    }
+    out.tokens = tokenize(text);
+    return true;
+}
+
+bool
+suppressed(const SourceFile &f, int line, const std::string &rule)
+{
+    const auto it = f.allowed.find(line);
+    return it != f.allowed.end() && it->second.count(rule) > 0;
+}
+
+void
+add_violation(std::vector<Violation> &out, const SourceFile &f, int line,
+              const std::string &rule, const std::string &msg)
+{
+    if (!suppressed(f, line, rule))
+        out.push_back({f.path, line, rule, msg});
+}
+
+/** Index of the matching closer for the opener at @p open, or npos. */
+std::size_t
+match_forward(const std::vector<Token> &t, std::size_t open,
+              const std::string &opener, const std::string &closer)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < t.size(); ++i) {
+        if (t[i].text == opener)
+            ++depth;
+        else if (t[i].text == closer && --depth == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+// --------------------------------------------------------------------
+// L1: determinism
+// --------------------------------------------------------------------
+
+void
+check_l1(const SourceFile &f, std::vector<Violation> &out)
+{
+    static const std::set<std::string> kBannedIdents = {
+        "rand", "srand", "rand_r", "drand48", "lrand48", "random",
+        "random_shuffle", "random_device", "mt19937", "mt19937_64",
+        "default_random_engine", "minstd_rand", "minstd_rand0", "knuth_b",
+        "ranlux24", "ranlux48", "system_clock", "steady_clock",
+        "high_resolution_clock", "gettimeofday", "clock_gettime",
+    };
+    static const std::set<std::string> kBannedCalls = {"time", "clock"};
+    static const std::set<std::string> kUnordered = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset",
+    };
+
+    const auto &t = f.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const std::string &id = t[i].text;
+        if (!is_ident_start(id[0]))
+            continue;
+        if (kBannedIdents.count(id) > 0) {
+            add_violation(out, f, t[i].line, "L1",
+                          "nondeterministic source '" + id +
+                              "': all randomness/time must flow through"
+                              " common/rng.h and the Cycle clock");
+        } else if (kBannedCalls.count(id) > 0 && i + 1 < t.size() &&
+                   t[i + 1].text == "(" &&
+                   (i == 0 || (t[i - 1].text != "." &&
+                               t[i - 1].text != "->" &&
+                               t[i - 1].text != "::"))) {
+            add_violation(out, f, t[i].line, "L1",
+                          "wall-clock call '" + id +
+                              "()': simulation time is the Cycle"
+                              " counter, not host time");
+        } else if (kUnordered.count(id) > 0) {
+            add_violation(
+                out, f, t[i].line, "L1",
+                "unordered container '" + id +
+                    "': iteration order is unspecified and leaks"
+                    " nondeterminism into simulation state/events; use"
+                    " std::map, std::vector, or suppress with"
+                    " // catnap-lint: allow(L1) if provably unordered");
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// L2: two-phase discipline
+// --------------------------------------------------------------------
+
+/**
+ * Collects the function names declared directly after a
+ * CATNAP_PHASE_READ / CATNAP_PHASE_WRITE marker: the identifier
+ * immediately preceding the next '('.
+ */
+void
+collect_phase_annotations(const SourceFile &f, PhaseTable &table)
+{
+    const auto &t = f.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const bool is_read = t[i].text == "CATNAP_PHASE_READ";
+        const bool is_write = t[i].text == "CATNAP_PHASE_WRITE";
+        if (!is_read && !is_write)
+            continue;
+        for (std::size_t j = i + 1; j + 1 < t.size() && j < i + 16; ++j) {
+            if (t[j + 1].text == "(" && is_ident_start(t[j].text[0])) {
+                (is_read ? table.read_fns : table.write_fns)
+                    .insert(t[j].text);
+                break;
+            }
+        }
+    }
+}
+
+/**
+ * Finds the body of the function definition whose name token is at
+ * @p name_idx; returns {body_open, body_close} brace indices or npos.
+ */
+std::pair<std::size_t, std::size_t>
+find_body(const std::vector<Token> &t, std::size_t name_idx)
+{
+    constexpr auto npos = std::string::npos;
+    if (name_idx + 1 >= t.size() || t[name_idx + 1].text != "(")
+        return {npos, npos};
+    const std::size_t params_end = match_forward(t, name_idx + 1, "(", ")");
+    if (params_end == npos)
+        return {npos, npos};
+    // Skip qualifiers between the parameter list and the body.
+    std::size_t k = params_end + 1;
+    while (k < t.size() &&
+           (t[k].text == "const" || t[k].text == "noexcept" ||
+            t[k].text == "override" || t[k].text == "final"))
+        ++k;
+    if (k >= t.size() || t[k].text != "{")
+        return {npos, npos};
+    const std::size_t body_end = match_forward(t, k, "{", "}");
+    if (body_end == npos)
+        return {npos, npos};
+    return {k, body_end};
+}
+
+void
+check_l2(const SourceFile &f, const PhaseTable &table,
+         std::vector<Violation> &out)
+{
+    const auto &t = f.tokens;
+    constexpr auto npos = std::string::npos;
+
+    // Rule a: every evaluate/commit declaration carries an annotation.
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        if ((t[i].text != "evaluate" && t[i].text != "commit") ||
+            i + 1 >= t.size() || t[i + 1].text != "(")
+            continue;
+        if (t[i - 1].text != "void")
+            continue; // call or qualified definition, not a declaration
+        const bool annotated =
+            i >= 2 && (t[i - 2].text == "CATNAP_PHASE_READ" ||
+                       t[i - 2].text == "CATNAP_PHASE_WRITE");
+        if (!annotated) {
+            add_violation(out, f, t[i].line, "L2",
+                          "phase method '" + t[i].text +
+                              "' lacks a CATNAP_PHASE_READ/WRITE"
+                              " annotation (common/phase.h)");
+        }
+    }
+
+    // Rule b: read-phase function bodies never call write-phase
+    // functions (same-cycle read-after-write hazard).
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (table.read_fns.count(t[i].text) == 0)
+            continue;
+        // A definition is either qualified (Class::name) or an inline
+        // body directly after the annotated declaration.
+        const bool qualified = i >= 1 && t[i - 1].text == "::";
+        const auto [body_open, body_close] = find_body(t, i);
+        if (body_open == npos)
+            continue;
+        if (!qualified && i >= 1 && t[i - 1].text != "void" &&
+            !is_ident_start(t[i - 1].text[0]))
+            continue; // e.g. a call used as an expression statement
+        for (std::size_t k = body_open + 1; k < body_close; ++k) {
+            if (table.write_fns.count(t[k].text) == 0 ||
+                k + 1 >= t.size() || t[k + 1].text != "(")
+                continue;
+            add_violation(out, f, t[k].line, "L2",
+                          "read-phase function '" + t[i].text +
+                              "' calls write-phase function '" +
+                              t[k].text +
+                              "': same-cycle read-after-write hazard"
+                              " (two-phase discipline)");
+        }
+        i = body_close;
+    }
+}
+
+// --------------------------------------------------------------------
+// L3: counter safety
+// --------------------------------------------------------------------
+
+/** True for identifiers that (by convention) hold Cycle values. */
+bool
+is_cycleish(const std::string &raw)
+{
+    std::string id = raw;
+    while (!id.empty() && id.back() == '_')
+        id.pop_back();
+    static const std::set<std::string> kExact = {
+        "now",  "ready",       "wake_done", "sleep_start",
+        "head_since", "created", "injected",  "cycle", "cycles",
+    };
+    if (kExact.count(id) > 0)
+        return true;
+    auto ends_with = [&id](const char *suffix) {
+        const std::string s(suffix);
+        return id.size() > s.size() &&
+               id.compare(id.size() - s.size(), s.size(), s) == 0;
+    };
+    return ends_with("_cycle") || ends_with("_cycles") ||
+           ends_with("_done") || ends_with("_since");
+}
+
+void
+check_l3(const SourceFile &f, std::vector<Violation> &out)
+{
+    static const std::set<std::string> kNarrowTypes = {
+        "int",     "short",   "unsigned", "char",     "int8_t",
+        "int16_t", "int32_t", "uint8_t",  "uint16_t", "uint32_t",
+    };
+    const auto &t = f.tokens;
+    constexpr auto npos = std::string::npos;
+
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        // Rule a: static_cast<small-int>(cycle expression).
+        if (t[i].text == "static_cast" && i + 1 < t.size() &&
+            t[i + 1].text == "<") {
+            const std::size_t close = match_forward(t, i + 1, "<", ">");
+            if (close == npos || close + 1 >= t.size() ||
+                t[close + 1].text != "(")
+                continue;
+            // The cast's target type is narrow iff its last identifier
+            // names a sub-64-bit integral type.
+            std::string last_type_ident;
+            for (std::size_t k = i + 2; k < close; ++k)
+                if (is_ident_start(t[k].text[0]))
+                    last_type_ident = t[k].text;
+            if (kNarrowTypes.count(last_type_ident) == 0)
+                continue;
+            const std::size_t expr_end =
+                match_forward(t, close + 1, "(", ")");
+            if (expr_end == npos)
+                continue;
+            for (std::size_t k = close + 2; k < expr_end; ++k) {
+                if (is_ident_start(t[k].text[0]) &&
+                    is_cycleish(t[k].text)) {
+                    add_violation(
+                        out, f, t[k].line, "L3",
+                        "narrowing cast of cycle expression '" +
+                            t[k].text + "' to " + last_type_ident +
+                            ": Cycle is 64-bit and truncates after"
+                            " ~2^31 cycles");
+                    break;
+                }
+            }
+        }
+        // Rule b: bare -1 sentinel in returns/comparisons.
+        if (t[i].text == "-" && i + 1 < t.size() &&
+            t[i + 1].text == "1" && i >= 1) {
+            const std::string &prev = t[i - 1].text;
+            if (prev == "return" || prev == "==" || prev == "!=") {
+                add_violation(
+                    out, f, t[i].line, "L3",
+                    "bare -1 sentinel: use a named constant"
+                    " (kInvalidVc, kNoSubnet, kInvalidNode) or"
+                    " std::optional so signed/unsigned index mixing"
+                    " cannot occur");
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+
+void
+collect_files(const std::string &arg, std::vector<std::string> &files)
+{
+    namespace fs = std::filesystem;
+    if (fs::is_directory(arg)) {
+        std::vector<std::string> found;
+        for (const auto &entry : fs::recursive_directory_iterator(arg)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string ext = entry.path().extension().string();
+            if (ext == ".h" || ext == ".hpp" || ext == ".cc" ||
+                ext == ".cpp")
+                found.push_back(entry.path().string());
+        }
+        // Deterministic report order regardless of directory walk order.
+        std::sort(found.begin(), found.end());
+        files.insert(files.end(), found.begin(), found.end());
+    } else {
+        files.push_back(arg);
+    }
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: catnap_lint [--rules L1,L2,L3] [--expect RULE]"
+        " <files-or-dirs>...\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::set<std::string> rules = {"L1", "L2", "L3"};
+    std::string expect;
+    std::vector<std::string> files;
+
+    for (int a = 1; a < argc; ++a) {
+        const std::string arg = argv[a];
+        if (arg == "--rules" && a + 1 < argc) {
+            rules.clear();
+            std::istringstream rs(argv[++a]);
+            std::string r;
+            while (std::getline(rs, r, ','))
+                rules.insert(r);
+        } else if (arg == "--expect" && a + 1 < argc) {
+            expect = argv[++a];
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            collect_files(arg, files);
+        }
+    }
+    if (files.empty())
+        return usage();
+
+    std::vector<SourceFile> sources;
+    sources.reserve(files.size());
+    for (const auto &path : files) {
+        SourceFile f;
+        if (!load_file(path, f)) {
+            std::fprintf(stderr, "catnap_lint: cannot read %s\n",
+                         path.c_str());
+            return 2;
+        }
+        sources.push_back(std::move(f));
+    }
+
+    // The annotation table spans all inputs so .cc definitions see the
+    // markers declared in headers.
+    PhaseTable table;
+    for (const auto &f : sources)
+        collect_phase_annotations(f, table);
+
+    std::vector<Violation> violations;
+    for (const auto &f : sources) {
+        if (rules.count("L1"))
+            check_l1(f, violations);
+        if (rules.count("L2"))
+            check_l2(f, table, violations);
+        if (rules.count("L3"))
+            check_l3(f, violations);
+    }
+
+    for (const auto &v : violations) {
+        std::printf("%s:%d: [%s] %s\n", v.file.c_str(), v.line,
+                    v.rule.c_str(), v.message.c_str());
+    }
+
+    if (!expect.empty()) {
+        const bool hit =
+            std::any_of(violations.begin(), violations.end(),
+                        [&expect](const Violation &v) {
+                            return v.rule == expect;
+                        });
+        std::printf("catnap_lint: expected %s violation %s\n",
+                    expect.c_str(), hit ? "found" : "NOT found");
+        return hit ? 0 : 1;
+    }
+
+    if (!violations.empty()) {
+        std::printf("catnap_lint: %zu violation(s) in %zu file(s)\n",
+                    violations.size(), files.size());
+        return 1;
+    }
+    return 0;
+}

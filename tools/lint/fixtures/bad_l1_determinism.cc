@@ -1,0 +1,44 @@
+// Lint fixture: seeded L1 (determinism) violations. Never compiled;
+// consumed by `catnap_lint --expect L1`.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+// Violation: libc RNG instead of common/rng.h.
+int
+pick_subnet(int num_subnets)
+{
+    return std::rand() % num_subnets;
+}
+
+// Violation: wall-clock seeding makes every run different.
+unsigned
+make_seed()
+{
+    return static_cast<unsigned>(time(nullptr));
+}
+
+// Violation: std::random_device / mt19937 bypass the seeded Xoshiro.
+double
+jitter()
+{
+    std::random_device rd;
+    std::mt19937 gen(rd());
+    return static_cast<double>(gen()) / 4294967296.0;
+}
+
+// Violation: unordered_map iteration order is unspecified, so any
+// simulation state or event order derived from it is nondeterministic.
+int
+sum_occupancy(const std::unordered_map<int, int> &occ)
+{
+    int total = 0;
+    for (const auto &kv : occ)
+        total += kv.second;
+    return total;
+}
+
+} // namespace fixture

@@ -1,0 +1,38 @@
+// Lint fixture: seeded L2 (two-phase discipline) violations. Never
+// compiled; consumed by `catnap_lint --expect L2`.
+#include "common/phase.h"
+
+namespace fixture {
+
+using Cycle = unsigned long long;
+
+class BadRouter
+{
+  public:
+    // Violation (rule b, below): the read-phase body calls a
+    // write-phase function — a same-cycle read-after-write hazard that
+    // makes results depend on the order routers are visited.
+    CATNAP_PHASE_READ void evaluate(Cycle now)
+    {
+        if (now > 0)
+            apply_arrivals_now(now);
+    }
+
+    CATNAP_PHASE_WRITE void commit(Cycle now) { last_ = now; }
+
+  private:
+    CATNAP_PHASE_WRITE void apply_arrivals_now(Cycle now) { last_ = now; }
+
+    Cycle last_ = 0;
+};
+
+class UnannotatedRouter
+{
+  public:
+    // Violation (rule a): an evaluate/commit phase method without a
+    // CATNAP_PHASE_READ / CATNAP_PHASE_WRITE annotation.
+    void evaluate(Cycle now);
+    void commit(Cycle now);
+};
+
+} // namespace fixture

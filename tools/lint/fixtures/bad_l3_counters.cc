@@ -1,0 +1,41 @@
+// Lint fixture: seeded L3 (counter safety) violations. Never compiled;
+// consumed by `catnap_lint --expect L3`.
+#include <cstdint>
+
+namespace fixture {
+
+using Cycle = unsigned long long;
+
+// Violation: narrowing a Cycle into int truncates after ~2^31 cycles —
+// long fig10-style sweeps silently wrap.
+int
+cycle_as_int(Cycle now)
+{
+    return static_cast<int>(now);
+}
+
+// Violation: narrowing a cycle-delta expression into a 16-bit counter.
+std::int16_t
+wait_time(Cycle now, Cycle head_since)
+{
+    return static_cast<std::int16_t>(now - head_since);
+}
+
+// Violation: bare -1 sentinel returned as a "subnet index"; mixed into
+// unsigned arithmetic it becomes SIZE_MAX. Use kNoSubnet/std::optional.
+int
+choose_subnet(bool any_awake)
+{
+    if (!any_awake)
+        return -1;
+    return 0;
+}
+
+// Violation: comparing against the bare sentinel.
+bool
+is_unassigned(int vc)
+{
+    return vc == -1;
+}
+
+} // namespace fixture

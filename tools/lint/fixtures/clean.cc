@@ -1,0 +1,94 @@
+// Lint fixture: legitimate look-alike patterns that must NOT be
+// flagged, plus one suppressed finding. `catnap_lint fixtures/clean.cc`
+// must exit 0.
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/phase.h"
+
+namespace fixture {
+
+using Cycle = unsigned long long;
+inline constexpr int kNoSubnet = -1; // named sentinel definition is fine
+
+class GoodRouter
+{
+  public:
+    // Annotated phase methods: rule a satisfied.
+    CATNAP_PHASE_READ void evaluate(Cycle now)
+    {
+        // Read-phase calling another read-phase helper is fine.
+        scan_inputs(now);
+    }
+
+    CATNAP_PHASE_WRITE void commit(Cycle now)
+    {
+        // Write-phase calling write-phase is fine.
+        apply_arrivals(now);
+    }
+
+  private:
+    CATNAP_PHASE_READ void scan_inputs(Cycle now) { seen_ = now; }
+    CATNAP_PHASE_WRITE void apply_arrivals(Cycle now) { last_ = now; }
+
+    Cycle seen_ = 0;
+    Cycle last_ = 0;
+};
+
+// Widening cycle casts are fine; so is double for latency statistics.
+double
+latency_cycles(Cycle now, Cycle injected)
+{
+    return static_cast<double>(now - injected);
+}
+
+std::uint64_t
+cycle_as_u64(Cycle now)
+{
+    return static_cast<std::uint64_t>(now);
+}
+
+// Narrowing a non-cycle quantity is fine.
+std::int16_t
+seq_of(int next_seq)
+{
+    return static_cast<std::int16_t>(next_seq);
+}
+
+// Named sentinels instead of bare -1.
+int
+choose_subnet(bool any_awake)
+{
+    return any_awake ? 0 : kNoSubnet;
+}
+
+// std::optional instead of a sentinel at all.
+std::optional<int>
+arbitrate(const std::vector<bool> &requests)
+{
+    for (std::size_t i = 0; i < requests.size(); ++i)
+        if (requests[i])
+            return static_cast<int>(i);
+    return std::nullopt;
+}
+
+// Ordered containers are always fine.
+int
+sum_occupancy(const std::map<int, int> &occ)
+{
+    int total = 0;
+    for (const auto &kv : occ)
+        total += kv.second;
+    return total;
+}
+
+// A deliberate, reviewed exception uses the suppression comment.
+int
+legacy_sentinel()
+{
+    return -1; // catnap-lint: allow(L3)
+}
+
+} // namespace fixture
