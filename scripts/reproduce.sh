@@ -8,7 +8,8 @@ cmake -B build -G Ninja
 cmake --build build
 
 mkdir -p results
-ctest --test-dir build 2>&1 | tee results/test_output.txt
+ctest --test-dir build --output-on-failure -j"$(nproc)" 2>&1 |
+  tee results/test_output.txt
 
 {
   for b in build/bench/*; do

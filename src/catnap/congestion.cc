@@ -156,4 +156,17 @@ CongestionState::update(Cycle now)
     }
 }
 
+void
+CongestionState::glitch_rcs_for_fault(int region, SubnetId s, Cycle now)
+{
+    const auto ridx = region_index(region, s);
+    const bool flipped = !rcs_latched_[ridx];
+    rcs_latched_[ridx] = flipped;
+    ++rcs_transitions_;
+    if (sink_)
+        sink_->on_event({now,
+                         flipped ? EventKind::kRcsSet : EventKind::kRcsClear,
+                         region, s, 0, 0, 0});
+}
+
 } // namespace catnap

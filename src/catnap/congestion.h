@@ -99,6 +99,16 @@ class CongestionState
     /** Recomputes LCS for every node and latches RCS on period boundaries. */
     CATNAP_PHASE_WRITE void update(Cycle now);
 
+    /**
+     * Fault injection (src/fault): flips the latched RCS bit of
+     * (@p region, @p s), modelling a transient glitch in the OR-tree.
+     * The corruption is inherently transient -- the next latch boundary
+     * overwrites it with the true OR of the region's LCS bits. Counts as
+     * an RCS transition and emits the matching kRcsSet/kRcsClear event.
+     */
+    CATNAP_PHASE_WRITE void glitch_rcs_for_fault(int region, SubnetId s,
+                                                 Cycle now);
+
     /** Local congestion status of @p node for subnet @p s. */
     bool lcs(NodeId node, SubnetId s) const
     {

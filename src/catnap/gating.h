@@ -22,6 +22,7 @@ namespace catnap {
 class Router;
 class CongestionState;
 class ConcentratedMesh;
+class FaultController;
 
 /** Available power-gating policies. */
 enum class GatingKind : int {
@@ -64,11 +65,35 @@ class GatingPolicy
     /** Runs one policy step (the per-cycle policy phase). */
     CATNAP_PHASE_WRITE virtual void step(Cycle now) = 0;
 
+    /**
+     * Enables the fault model (src/fault; DESIGN.md §10): look-ahead
+     * wakes are routed through the controller's loss/delay interception,
+     * and a wake that fails to complete within t_wake_timeout is
+     * re-asserted with bounded exponential backoff (retry i fires
+     * t_wake_timeout * (2^i - 1) cycles after the wake went pending) and
+     * escalated to a hard router failure after max_wake_retries. Called
+     * by MultiNoc when the fault plan is non-empty. Not owned.
+     */
+    void engage_fault_mode(FaultController *fault) { fault_ = fault; }
+
   protected:
     /** Services wake requests for every attached router. */
     CATNAP_PHASE_WRITE void service_wake_requests(Cycle now);
 
+    /** Wake-retry/escalation scan; no-op without a fault controller. */
+    CATNAP_PHASE_WRITE void service_wake_retries(Cycle now);
+
+    /** Wake-retry bookkeeping for one router. */
+    struct WakeRetryState
+    {
+        Cycle pending_since = kNoCycle; ///< kNoCycle: no wake pending
+        Cycle next_check = kNoCycle;
+        int retries = 0;
+    };
+
     std::vector<std::vector<Router *>> routers_; // [subnet][node]
+    FaultController *fault_ = nullptr;
+    std::vector<std::vector<WakeRetryState>> retry_; // [subnet][node]
 };
 
 /** No gating: wake requests are cleared, routers stay Active forever. */

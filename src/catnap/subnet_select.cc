@@ -34,6 +34,8 @@ RoundRobinSelector::select(NodeId node, const PacketDesc &pkt,
     int &ptr = next_[static_cast<std::size_t>(node)];
     for (int i = 0; i < num_subnets_; ++i) {
         const int s = (ptr + i) % num_subnets_;
+        if (!subnet_ok(s))
+            continue;
         if (slot_free[static_cast<std::size_t>(s)]) {
             ptr = (s + 1) % num_subnets_;
             return s;
@@ -58,14 +60,14 @@ RandomSelector::select(NodeId node, const PacketDesc &pkt,
     (void)now;
     int free_count = 0;
     for (int s = 0; s < num_subnets_; ++s)
-        if (slot_free[static_cast<std::size_t>(s)])
+        if (subnet_ok(s) && slot_free[static_cast<std::size_t>(s)])
             ++free_count;
     if (free_count == 0)
         return kNoSubnet;
     int pick = static_cast<int>(
         rng_.next_below(static_cast<std::uint64_t>(free_count)));
     for (int s = 0; s < num_subnets_; ++s) {
-        if (!slot_free[static_cast<std::size_t>(s)])
+        if (!subnet_ok(s) || !slot_free[static_cast<std::size_t>(s)])
             continue;
         if (pick-- == 0)
             return s;
@@ -97,6 +99,8 @@ CatnapSelector::select(NodeId node, const PacketDesc &pkt,
     const bool pressured = backlog_flits > spill_threshold_;
     bool spilled = false; // a skipped lower subnet was merely busy
     for (int s = 0; s < num_subnets_; ++s) {
+        if (!subnet_ok(s))
+            continue; // failed subnets are invisible to the priority order
         if (!congestion_->congested(node, s)) {
             if (slot_free[static_cast<std::size_t>(s)]) {
                 if (sink_ && s > 0)
@@ -115,6 +119,8 @@ CatnapSelector::select(NodeId node, const PacketDesc &pkt,
     int &ptr = rr_next_[static_cast<std::size_t>(node)];
     for (int i = 0; i < num_subnets_; ++i) {
         const int s = (ptr + i) % num_subnets_;
+        if (!subnet_ok(s))
+            continue;
         if (slot_free[static_cast<std::size_t>(s)]) {
             ptr = (s + 1) % num_subnets_;
             if (sink_)
@@ -139,8 +145,16 @@ ClassPartitionSelector::select(NodeId node, const PacketDesc &pkt,
     (void)node;
     (void)backlog_flits;
     (void)now;
-    const int s = static_cast<int>(pkt.mc) % num_subnets_;
-    return slot_free[static_cast<std::size_t>(s)] ? s : kNoSubnet;
+    // A failed home subnet remaps the class to the next healthy one up
+    // (wrapping), keeping the static affinity as close as possible.
+    const int home = static_cast<int>(pkt.mc) % num_subnets_;
+    for (int i = 0; i < num_subnets_; ++i) {
+        const int s = (home + i) % num_subnets_;
+        if (!subnet_ok(s))
+            continue;
+        return slot_free[static_cast<std::size_t>(s)] ? s : kNoSubnet;
+    }
+    return kNoSubnet;
 }
 
 std::unique_ptr<SubnetSelector>

@@ -13,6 +13,7 @@
 #include "common/phase.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "fault/health.h"
 #include "noc/flit.h"
 #include "obs/event.h"
 
@@ -68,8 +69,23 @@ class SubnetSelector
            const std::vector<bool> &slot_free, int backlog_flits,
            Cycle now) = 0;
 
+    /**
+     * Attaches the fault model's per-subnet health mask (src/fault).
+     * Every policy skips unhealthy subnets; with no mask attached (the
+     * no-fault configuration) nothing changes. Not owned.
+     */
+    void set_health(const HealthMask *health) { health_ = health; }
+
   protected:
+    /** True when subnet @p s may carry traffic. */
+    bool
+    subnet_ok(SubnetId s) const
+    {
+        return health_ == nullptr || health_->healthy(s);
+    }
+
     EventSink *sink_ = nullptr;
+    const HealthMask *health_ = nullptr;
 };
 
 /** Rotates across subnets per node, skipping busy slots. */

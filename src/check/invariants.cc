@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "fault/fault.h"
 #include "noc/multinoc.h"
 #include "obs/export.h"
 #include "obs/trace_buffer.h"
@@ -79,6 +80,17 @@ InvariantChecker::check_flit_conservation(const MultiNoc &noc, Cycle now)
     for (SubnetId s = 0; s < noc.num_subnets(); ++s) {
         for (NodeId n = 0; n < noc.num_nodes(); ++n) {
             const Router &r = noc.router(s, n);
+            if (r.failed() &&
+                (r.total_occupancy() > 0 || r.pending_arrivals() > 0)) {
+                // A failed router must be purged at kill time; anything
+                // still buffered there is a conservation sink.
+                std::ostringstream os;
+                os << "failed router " << n << " subnet " << s
+                   << " holds flits (buffered " << r.total_occupancy()
+                   << ", arriving " << r.pending_arrivals() << ")";
+                report(InvariantViolation::Kind::kFlitConservation, now,
+                       os.str());
+            }
             in_flight += static_cast<std::uint64_t>(r.total_occupancy());
             in_flight += r.pending_arrivals();
         }
@@ -89,10 +101,12 @@ InvariantChecker::check_flit_conservation(const MultiNoc &noc, Cycle now)
     }
     const std::uint64_t injected = noc.metrics().injected_flits();
     const std::uint64_t ejected = noc.metrics().ejected_network_flits();
-    if (injected != in_flight + ejected) {
+    const std::uint64_t dropped = noc.metrics().dropped_flits();
+    if (injected != in_flight + ejected + dropped) {
         std::ostringstream os;
         os << "flit conservation broken: injected " << injected
-           << " != in-flight " << in_flight << " + ejected " << ejected;
+           << " != in-flight " << in_flight << " + ejected " << ejected
+           << " + dropped " << dropped;
         report(InvariantViolation::Kind::kFlitConservation, now, os.str());
     }
 }
@@ -102,7 +116,12 @@ InvariantChecker::check_credit_conservation(const MultiNoc &noc, Cycle now)
 {
     const SubnetParams &params = noc.subnet_params();
     const int depth = params.vc_depth_flits;
+    const FaultController *fault = noc.fault();
     for (SubnetId s = 0; s < noc.num_subnets(); ++s) {
+        // A failed subnet's ledgers were force-reset at kill time and the
+        // credits its dropped flits would have returned are gone forever.
+        if (fault && !fault->health().healthy(s))
+            continue;
         for (NodeId n = 0; n < noc.num_nodes(); ++n) {
             const Router &up = noc.router(s, n);
             for (int p = 1; p < kNumPorts; ++p) {
@@ -168,16 +187,32 @@ InvariantChecker::check_gating_legality(const MultiNoc &noc, Cycle now)
     const bool catnap_gating = noc.config().gating == GatingKind::kCatnap;
     const int t_wakeup = noc.subnet_params().t_wakeup;
     const int nodes = noc.num_nodes();
+    const FaultController *fault = noc.fault();
+    const SubnetId promoted =
+        fault ? fault->never_sleep_subnet() : SubnetId{0};
     for (SubnetId s = 0; s < noc.num_subnets(); ++s) {
         for (NodeId n = 0; n < nodes; ++n) {
             const Router &r = noc.router(s, n);
+            if (r.failed())
+                continue; // drained at kill time; FSM frozen
             const PowerState cur = r.power_state();
 
-            if (catnap_gating && s == 0 && cur != PowerState::kActive) {
+            if (catnap_gating && !fault && s == 0 &&
+                cur != PowerState::kActive) {
                 std::ostringstream os;
                 os << "subnet 0 router " << n
                    << " left Active under the Catnap policy (state "
                    << power_state_name(cur) << ")";
+                report(InvariantViolation::Kind::kGating, now, os.str());
+            }
+            // Degradation rule (DESIGN.md §10): the lowest healthy subnet
+            // is the never-sleep subnet. It may transit Wakeup right
+            // after a promotion, but must never be found asleep.
+            if (catnap_gating && fault && s == promoted &&
+                cur == PowerState::kSleep) {
+                std::ostringstream os;
+                os << "promoted subnet " << s << " router " << n
+                   << " is asleep under the Catnap policy";
                 report(InvariantViolation::Kind::kGating, now, os.str());
             }
             if (cur == PowerState::kSleep &&
@@ -195,6 +230,7 @@ InvariantChecker::check_gating_legality(const MultiNoc &noc, Cycle now)
                      static_cast<std::size_t>(nodes) +
                  static_cast<std::size_t>(n)];
             if (prev == PowerState::kSleep && cur == PowerState::kWakeup &&
+                !r.wake_stuck() &&
                 r.wake_done_cycle() !=
                     now + static_cast<Cycle>(t_wakeup)) {
                 std::ostringstream os;
@@ -211,7 +247,8 @@ InvariantChecker::check_gating_legality(const MultiNoc &noc, Cycle now)
                 report(InvariantViolation::Kind::kGating, now, os.str());
             }
             if (prev == PowerState::kWakeup && cur == PowerState::kActive &&
-                t_wakeup > 0 && now != r.wake_done_cycle()) {
+                t_wakeup > 0 && !r.wake_stuck() &&
+                now != r.wake_done_cycle()) {
                 std::ostringstream os;
                 os << "router " << n << " subnet " << s
                    << " completed wake-up at " << now
@@ -254,9 +291,15 @@ InvariantChecker::check_congestion_causality(const MultiNoc &noc, Cycle now)
 void
 InvariantChecker::check_forward_progress(const MultiNoc &noc, Cycle now)
 {
+    const FaultController *fault = noc.fault();
+    if (fault && fault->health().num_healthy() == 0)
+        return; // every subnet dead: nothing can make progress
     std::uint64_t progress = noc.metrics().injected_flits() +
                              noc.metrics().ejected_network_flits() +
-                             noc.metrics().ejected_packets();
+                             noc.metrics().ejected_packets() +
+                             noc.metrics().retransmits() +
+                             noc.metrics().dropped_packets() +
+                             noc.metrics().dropped_flits();
     for (SubnetId s = 0; s < noc.num_subnets(); ++s)
         for (NodeId n = 0; n < noc.num_nodes(); ++n)
             progress += noc.router(s, n).switched_flits();

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Declarative fault schedule (DESIGN.md §10).
+ *
+ * A FaultPlan is plain data: a list of scheduled fault events plus
+ * probabilities for the two probabilistic fault classes (lost look-ahead
+ * wake-ups and transient RCS glitches) and the tuning knobs of the
+ * degradation machinery. It lives inside MultiNocConfig so a run is
+ * fully described by its config; an *empty* plan means the fault
+ * subsystem is never constructed and the simulation is bit-identical to
+ * a build without this feature.
+ *
+ * All randomness is drawn from a dedicated Rng seeded with
+ * FaultPlan::seed, never from the network's own stream, so enabling
+ * probabilistic faults perturbs nothing else.
+ */
+#ifndef CATNAP_FAULT_FAULT_PLAN_H
+#define CATNAP_FAULT_FAULT_PLAN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace catnap {
+
+/** The hardware misbehaviors the injector can model. */
+enum class FaultKind : std::int8_t {
+    /** Hard router death: buffers, state, and links are gone for good. */
+    kRouterFailure = 0,
+    /** Dead inter-router link; takes its subnet out of service (X-Y
+     * routing cannot steer around it). */
+    kLinkFailure = 1,
+    /** Look-ahead wake-up signals to one router are swallowed for a
+     * window of cycles. */
+    kLostWake = 2,
+    /** Look-ahead wake-up signals to one router are deferred by a fixed
+     * number of cycles for a window. */
+    kDelayedWake = 3,
+    /** The router's wake sequence hangs: begin_wakeup never completes
+     * until the gating layer re-asserts it (and then hangs again). */
+    kWakeStuck = 4,
+    /** Transient bit flip in the latched region-congestion-status OR-tree
+     * output; self-corrects at the next RCS latch boundary. */
+    kRcsGlitch = 5,
+};
+
+/** Human-readable name, e.g. for trace dumps and bench tables. */
+const char *fault_kind_name(FaultKind kind);
+
+/** One scheduled fault. Which fields matter depends on @c kind. */
+struct FaultEvent {
+    FaultKind kind = FaultKind::kRouterFailure;
+    /** Cycle at which the fault arms (windows start here). */
+    Cycle at = 0;
+    /** Target subnet (ignored for kRcsGlitch region selection -- the
+     * glitch hits the region containing @c node on this subnet). */
+    SubnetId subnet = 0;
+    /** Target node. */
+    NodeId node = 0;
+    /** Failed output port for kLinkFailure. */
+    Direction port = Direction::kNorth;
+    /** Window length in cycles for kLostWake / kDelayedWake. */
+    Cycle duration = 0;
+    /** Added latency per wake for kDelayedWake. */
+    Cycle delay = 0;
+};
+
+/** Tuning knobs of the degradation machinery. */
+struct FaultTuning {
+    /** Cycles the gating layer waits for a wake before re-asserting. */
+    Cycle t_wake_timeout = 64;
+    /** Wake re-assertions before the router is escalated to failed.
+     * Retry i fires t_wake_timeout * (2^i - 1) cycles after the wake
+     * first went pending (bounded exponential backoff). */
+    int max_wake_retries = 4;
+    /** Backoff exponent cap: the wait after retry i is
+     * t_wake_timeout << min(i, backoff_cap_exp). */
+    int backoff_cap_exp = 5;
+    /** Source-NI end-to-end delivery deadline per attempt. */
+    Cycle packet_timeout = 10000;
+    /** Grace period before a known-lost packet is re-offered (lets the
+     * health mask settle). */
+    Cycle retransmit_delay = 32;
+    /** Retransmission attempts before the packet is dropped. */
+    int max_retransmits = 3;
+};
+
+/** A deterministic, seed-driven schedule of faults plus tuning. */
+struct FaultPlan {
+    std::vector<FaultEvent> events;
+    /** Per-wake probability that a look-ahead wake-up is lost. */
+    double wake_loss_prob = 0.0;
+    /** Per-(subnet, region) probability of an RCS bit glitch at each
+     * RCS latch boundary. */
+    double rcs_glitch_prob = 0.0;
+    /** Seed of the fault subsystem's private Rng stream. */
+    std::uint64_t seed = 0xfa17ed5eedULL;
+    FaultTuning tuning;
+
+    /** True when the plan can never fire a fault; MultiNoc then skips
+     * constructing the fault subsystem entirely. */
+    bool
+    empty() const
+    {
+        return events.empty() && wake_loss_prob <= 0.0 &&
+               rcs_glitch_prob <= 0.0;
+    }
+
+    // Builder helpers; chainable, e.g.
+    //   plan.kill_router(5000, 1, 12).glitch_rcs(8000, 2, 0);
+    FaultPlan &
+    kill_router(Cycle at, SubnetId subnet, NodeId node)
+    {
+        events.push_back({FaultKind::kRouterFailure, at, subnet, node,
+                          Direction::kNorth, 0, 0});
+        return *this;
+    }
+
+    FaultPlan &
+    kill_link(Cycle at, SubnetId subnet, NodeId node, Direction port)
+    {
+        events.push_back({FaultKind::kLinkFailure, at, subnet, node, port, 0, 0});
+        return *this;
+    }
+
+    FaultPlan &
+    lose_wakes(Cycle at, SubnetId subnet, NodeId node, Cycle duration)
+    {
+        events.push_back({FaultKind::kLostWake, at, subnet, node,
+                          Direction::kNorth, duration, 0});
+        return *this;
+    }
+
+    FaultPlan &
+    delay_wakes(Cycle at, SubnetId subnet, NodeId node, Cycle duration,
+                Cycle delay)
+    {
+        events.push_back({FaultKind::kDelayedWake, at, subnet, node,
+                          Direction::kNorth, duration, delay});
+        return *this;
+    }
+
+    FaultPlan &
+    stick_wake(Cycle at, SubnetId subnet, NodeId node)
+    {
+        events.push_back({FaultKind::kWakeStuck, at, subnet, node,
+                          Direction::kNorth, 0, 0});
+        return *this;
+    }
+
+    FaultPlan &
+    glitch_rcs(Cycle at, SubnetId subnet, NodeId node)
+    {
+        events.push_back({FaultKind::kRcsGlitch, at, subnet, node,
+                          Direction::kNorth, 0, 0});
+        return *this;
+    }
+};
+
+} // namespace catnap
+
+#endif // CATNAP_FAULT_FAULT_PLAN_H

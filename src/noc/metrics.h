@@ -105,6 +105,26 @@ class NetMetrics
         hop_count_.add(static_cast<double>(hops));
     }
 
+    // Fault path (src/fault) ----------------------------------------------
+
+    /** A source NI re-offered a packet whose flits were purged. */
+    void note_retransmit() { ++retransmits_; }
+
+    /** A packet was abandoned after exhausting its retransmissions. */
+    void note_dropped_packet() { ++dropped_packets_; }
+
+    /** @p n in-network flits were purged by a hard fault. Balances the
+     * flit-conservation identity: injected == in_flight + ejected +
+     * dropped. */
+    void note_dropped_flits(std::size_t n)
+    {
+        dropped_flits_ += static_cast<std::uint64_t>(n);
+    }
+
+    std::uint64_t retransmits() const { return retransmits_; }
+    std::uint64_t dropped_packets() const { return dropped_packets_; }
+    std::uint64_t dropped_flits() const { return dropped_flits_; }
+
     /** Advances the time-series clocks (call once per cycle if enabled). */
     void
     roll_series(Cycle now)
@@ -179,6 +199,9 @@ class NetMetrics
     std::uint64_t offered_flits_window_ = 0;
     std::uint64_t ejected_packets_window_ = 0;
     std::uint64_t ejected_flits_window_ = 0;
+    std::uint64_t retransmits_ = 0;
+    std::uint64_t dropped_packets_ = 0;
+    std::uint64_t dropped_flits_ = 0;
     std::vector<std::uint64_t> injected_flits_per_subnet_;
 
     RunningStat total_latency_;

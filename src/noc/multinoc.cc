@@ -4,6 +4,7 @@
 
 #include "check/invariants.h"
 #include "common/log.h"
+#include "fault/fault.h"
 #include "obs/trace_buffer.h"
 
 namespace catnap {
@@ -129,6 +130,18 @@ MultiNoc::MultiNoc(const MultiNocConfig &cfg)
         gating_->attach(s, std::move(ptrs));
     }
 
+    // Fault injection (DESIGN.md §10). Only constructed for non-empty
+    // plans so the fault-free configuration stays bit-identical.
+    if (!cfg.fault.empty()) {
+        CATNAP_ASSERT(!subnet_params_.port_gating,
+                      "fault injection requires router-level gating");
+        fault_ = std::make_unique<FaultController>(this, cfg.fault);
+        selector_->set_health(&fault_->health());
+        gating_->engage_fault_mode(fault_.get());
+        for (auto &ni : nis_)
+            ni->set_fault(fault_.get());
+    }
+
 #if defined(CATNAP_CHECKS) && CATNAP_CHECKS
     checker_ = std::make_unique<InvariantChecker>();
 #endif
@@ -147,6 +160,8 @@ MultiNoc::set_event_sink(EventSink *sink)
         ni->set_sink(sink);
     congestion_.set_sink(sink);
     selector_->set_sink(sink);
+    if (fault_)
+        fault_->set_sink(sink);
 #if defined(CATNAP_CHECKS) && CATNAP_CHECKS
     // If the sink is the standard ring buffer, dump it on violations.
     checker_->set_trace(dynamic_cast<EventTrace *>(sink));
@@ -157,6 +172,11 @@ void
 MultiNoc::tick()
 {
     const Cycle now = now_;
+
+    // Phase 0: scheduled fault events fire before anything observes
+    // this cycle, so a kill at cycle C means "dead from C onward".
+    if (fault_)
+        fault_->pre_cycle(now);
 
     // Phase 1: evaluate (reads only state committed in earlier cycles).
     for (auto &subnet : routers_)
@@ -172,8 +192,12 @@ MultiNoc::tick()
     for (auto &ni : nis_)
         ni->commit(now);
 
-    // Phase 3: congestion detection, then gating decisions.
+    // Phase 3: congestion detection, then gating decisions. RCS glitches
+    // strike right after the latch so they corrupt the freshly published
+    // value, exactly like a bit flip on the OR-tree output.
     congestion_.update(now);
+    if (fault_)
+        fault_->post_congestion(now);
     gating_->step(now);
     metrics_.roll_series(now);
 

@@ -19,6 +19,7 @@
 #include "common/phase.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "fault/fault_plan.h"
 #include "noc/metrics.h"
 #include "noc/nic.h"
 #include "noc/params.h"
@@ -76,6 +77,13 @@ struct MultiNocConfig
 
     std::uint64_t seed = 1;
 
+    /**
+     * Fault-injection plan (DESIGN.md §10). An empty plan (the default)
+     * leaves the fault machinery entirely unconstructed, so fault-free
+     * runs are bit-identical to builds that predate it.
+     */
+    FaultPlan fault;
+
     /** Per-subnet link width. */
     int subnet_link_bits() const { return total_link_bits / num_subnets; }
 
@@ -102,6 +110,7 @@ MultiNocConfig multi_noc_config(int subnets = 4,
  * offering packets to NIs and calling tick().
  */
 class InvariantChecker;
+class FaultController;
 
 class MultiNoc
 {
@@ -196,6 +205,13 @@ class MultiNoc
     Rng make_rng() { return rng_.split(); }
 
     /**
+     * The fault controller, or null when the configured FaultPlan is
+     * empty (the common case).
+     */
+    FaultController *fault() { return fault_.get(); }
+    const FaultController *fault() const { return fault_.get(); }
+
+    /**
      * Folds still-open sleep periods into the CSC counters. Call before
      * reading csc_percent() / activity at the end of a measurement.
      */
@@ -222,6 +238,7 @@ class MultiNoc
     std::vector<std::unique_ptr<NetworkInterface>> nis_;        // [n]
     std::unique_ptr<SubnetSelector> selector_;
     std::unique_ptr<GatingPolicy> gating_;
+    std::unique_ptr<FaultController> fault_; // null when the plan is empty
     EventSink *sink_ = nullptr;
 
     /** Auto-installed invariant engine; non-null only when the build

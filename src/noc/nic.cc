@@ -4,6 +4,7 @@
 
 #include "catnap/subnet_select.h"
 #include "common/log.h"
+#include "fault/fault.h"
 #include "noc/metrics.h"
 #include "noc/routing.h"
 
@@ -159,6 +160,8 @@ NetworkInterface::try_assign_head(Cycle now)
         rtr->request_wakeup();
     }
     ++injected_packets_per_subnet_[static_cast<std::size_t>(s)];
+    if (fault_)
+        track_packet(slot.pkt, now);
     if (sink_)
         sink_->on_event({now, EventKind::kSubnetSelect, node_, s,
                          slot.total_flits, slot.pkt.dst, slot.pkt.id});
@@ -272,6 +275,8 @@ NetworkInterface::commit(Cycle now)
                         e.flit.pkt_flits,
                         mesh_.hop_distance(e.flit.src, e.flit.dst));
                 }
+                if (fault_)
+                    fault_->note_delivered(e.flit);
                 if (packet_sink_)
                     packet_sink_(e.flit, now);
             }
@@ -305,6 +310,127 @@ NetworkInterface::commit(Cycle now)
             }
         }
         loopback_events_.resize(kept);
+    }
+
+    if (fault_)
+        scan_packet_timeouts(now);
+}
+
+void
+NetworkInterface::track_packet(const PacketDesc &pkt, Cycle now)
+{
+    Outstanding &e = outstanding_[pkt.id];
+    e.pkt = pkt;
+    e.deadline = now + fault_->tuning().packet_timeout;
+    // attempts/lost persist across re-bindings of a retransmitted packet.
+}
+
+void
+NetworkInterface::purge_subnet(SubnetId s, std::vector<Flit> *dropped,
+                               std::vector<PacketDesc> *lost_slot_pkts)
+{
+    {
+        std::size_t kept = 0;
+        for (auto &e : eject_events_) {
+            if (e.subnet != s) {
+                eject_events_[kept++] = e;
+                continue;
+            }
+            dropped->push_back(e.flit);
+        }
+        eject_events_.resize(kept);
+    }
+    {
+        std::size_t kept = 0;
+        for (auto &c : credit_events_) {
+            if (c.subnet != s)
+                credit_events_[kept++] = c;
+        }
+        credit_events_.resize(kept);
+    }
+    for (VcId vc = 0; vc < params_.num_vcs; ++vc) {
+        credits(s, vc) = params_.vc_depth_flits;
+        vc_owner(s, vc) = 0;
+    }
+    InjectSlot &slot = slots_[static_cast<std::size_t>(s)];
+    if (slot.active) {
+        lost_slot_pkts->push_back(slot.pkt);
+        slot = InjectSlot{};
+    }
+}
+
+void
+NetworkInterface::note_packet_lost(PacketId id, Cycle now)
+{
+    auto it = outstanding_.find(id);
+    if (it == outstanding_.end())
+        return; // already delivered (or never tracked)
+    Outstanding &e = it->second;
+    if (!e.lost) {
+        e.lost = true;
+        ++lost_outstanding_;
+    }
+    const Cycle retry_at = now + fault_->tuning().retransmit_delay;
+    if (retry_at < e.deadline)
+        e.deadline = retry_at;
+}
+
+void
+NetworkInterface::ack_packet(PacketId id)
+{
+    auto it = outstanding_.find(id);
+    if (it == outstanding_.end())
+        return;
+    if (it->second.lost)
+        --lost_outstanding_;
+    outstanding_.erase(it);
+}
+
+void
+NetworkInterface::scan_packet_timeouts(Cycle now)
+{
+    const FaultTuning &t = fault_->tuning();
+    for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+        Outstanding &e = it->second;
+        if (now < e.deadline) {
+            ++it;
+            continue;
+        }
+        if (!e.lost) {
+            // Slow but not known lost: note the timeout and re-arm. The
+            // flits are still conserved somewhere in the network.
+            e.deadline = now + t.packet_timeout;
+            if (sink_)
+                sink_->on_event({now, EventKind::kPacketTimeout, node_, 0,
+                                 e.attempts, 0, e.pkt.id});
+            ++it;
+            continue;
+        }
+        if (e.attempts >= t.max_retransmits ||
+            fault_->health().num_healthy() == 0) {
+            if (metrics_)
+                metrics_->note_dropped_packet();
+            if (sink_)
+                sink_->on_event({now, EventKind::kPacketDrop, node_, 0,
+                                 e.attempts, 0, e.pkt.id});
+            --lost_outstanding_;
+            it = outstanding_.erase(it);
+            continue;
+        }
+        ++e.attempts;
+        e.lost = false;
+        --lost_outstanding_;
+        e.deadline = now + t.packet_timeout;
+        // Re-offer through the stash WITHOUT note_offered: the packet
+        // was already counted when first offered, and `offered ==
+        // ejected + dropped` stays a distinct-packet identity.
+        stash_.push_back(e.pkt);
+        if (metrics_)
+            metrics_->note_retransmit();
+        if (sink_)
+            sink_->on_event({now, EventKind::kPacketRetransmit, node_, 0,
+                             e.attempts, 0, e.pkt.id});
+        ++it;
     }
 }
 

@@ -14,6 +14,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -28,6 +29,7 @@ namespace catnap {
 
 class SubnetSelector;
 class NetMetrics;
+class FaultController;
 
 /**
  * The network interface of one node. See the file comment for its
@@ -69,6 +71,14 @@ class NetworkInterface
     void set_packet_sink(PacketSink sink) { packet_sink_ = std::move(sink); }
 
     /**
+     * Enables fault-aware end-to-end delivery tracking (src/fault;
+     * DESIGN.md §10): every non-loopback packet is tracked from subnet
+     * binding until the controller acks its tail ejection, with timeout,
+     * retransmission, and drop handling in commit(). Not owned.
+     */
+    void set_fault(FaultController *fault) { fault_ = fault; }
+
+    /**
      * Offers a new packet from a traffic source or the app substrate.
      * The source-side stash is unbounded (it models cores/generators
      * backing off); the bounded NI queue drains from it in order.
@@ -82,6 +92,32 @@ class NetworkInterface
 
     /** Phase 2: apply matured ejections, credits, and loopbacks. */
     CATNAP_PHASE_WRITE void commit(Cycle now);
+
+    // -- Fault model (src/fault) ------------------------------------------
+
+    /**
+     * A hard fault killed subnet @p s: drops this NI's pending eject
+     * flits from it into @p dropped, aborts a streaming slot into
+     * @p lost_slot_pkts, discards its credit events, and resets the
+     * local-port credit/VC mirror. Called by the fault controller for
+     * every NI when a subnet fails.
+     */
+    CATNAP_PHASE_WRITE void purge_subnet(SubnetId s,
+                                         std::vector<Flit> *dropped,
+                                         std::vector<PacketDesc> *lost_slot_pkts);
+
+    /**
+     * Source-side loss notification: packet @p id's in-network flits
+     * were purged. The packet becomes eligible for retransmission after
+     * the tuning's retransmit_delay.
+     */
+    void note_packet_lost(PacketId id, Cycle now);
+
+    /** The destination saw packet @p id's tail eject; stop tracking. */
+    void ack_packet(PacketId id);
+
+    /** Packets this NI is tracking toward delivery (tests). */
+    std::size_t outstanding_packets() const { return outstanding_.size(); }
 
     // -- Observability ----------------------------------------------------
 
@@ -119,6 +155,10 @@ class NetworkInterface
     idle() const
     {
         if (!stash_.empty() || !queue_.empty())
+            return false;
+        // Purged packets awaiting retransmission hold no flits anywhere,
+        // so they must keep the network non-quiescent themselves.
+        if (lost_outstanding_ > 0)
             return false;
         for (const auto &slot : slots_)
             if (slot.active)
@@ -200,9 +240,20 @@ class NetworkInterface
         PacketDesc pkt;
     };
 
+    /** End-to-end delivery tracking state for one offered packet. */
+    struct Outstanding
+    {
+        PacketDesc pkt;
+        Cycle deadline = 0;
+        int attempts = 0;   ///< retransmissions performed so far
+        bool lost = false;  ///< flits purged; awaiting retransmit/drop
+    };
+
     CATNAP_PHASE_READ void refill_queue(Cycle now);
     CATNAP_PHASE_READ void try_assign_head(Cycle now);
     CATNAP_PHASE_READ void stream_slots(Cycle now);
+    CATNAP_PHASE_WRITE void scan_packet_timeouts(Cycle now);
+    void track_packet(const PacketDesc &pkt, Cycle now);
     int &credits(SubnetId s, VcId vc);
     std::int64_t &vc_owner(SubnetId s, VcId vc);
 
@@ -231,6 +282,10 @@ class NetworkInterface
 
     std::vector<std::uint64_t> injected_packets_per_subnet_;
     std::vector<bool> slot_free_scratch_;
+
+    FaultController *fault_ = nullptr;
+    std::map<PacketId, Outstanding> outstanding_;
+    int lost_outstanding_ = 0;
 };
 
 } // namespace catnap

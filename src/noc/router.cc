@@ -60,6 +60,8 @@ Router::connect(Direction d, Router *neighbor)
 bool
 Router::can_accept_at(Cycle arrival) const
 {
+    if (failed_)
+        return false;
     switch (power_state_) {
       case PowerState::kActive: return true;
       case PowerState::kWakeup: return wake_done_ <= arrival;
@@ -73,7 +75,7 @@ Router::evaluate(Cycle now)
 {
     // A gated or waking router performs no allocation; an empty router
     // with no packet mid-stream has nothing to allocate either.
-    if (power_state_ != PowerState::kActive)
+    if (failed_ || power_state_ != PowerState::kActive)
         return;
     if (total_buffered_ == 0)
         return;
@@ -301,6 +303,8 @@ Router::deliver_credit(Direction port, VcId vc, Cycle ready)
 void
 Router::commit(Cycle now)
 {
+    if (failed_)
+        return; // a dead router has no queued effects and no FSM to run
     // Advance the power FSMs before accepting arrivals so a wake-up
     // that completes this cycle can receive the flit timed to land now.
     if (power_state_ == PowerState::kWakeup && now >= wake_done_) {
@@ -432,7 +436,7 @@ Router::apply_credits(Cycle now)
 bool
 Router::can_sleep() const
 {
-    if (power_state_ != PowerState::kActive)
+    if (failed_ || power_state_ != PowerState::kActive)
         return false;
     if (idle_streak_ < params_.t_idle_detect)
         return false;
@@ -460,7 +464,7 @@ Router::enter_sleep(Cycle now)
 void
 Router::begin_wakeup(Cycle now, WakeReason reason)
 {
-    if (power_state_ != PowerState::kSleep)
+    if (failed_ || power_state_ != PowerState::kSleep)
         return;
     const auto period = static_cast<std::int64_t>(now - sleep_start_);
     const auto be = static_cast<std::int64_t>(params_.t_breakeven);
@@ -471,11 +475,68 @@ Router::begin_wakeup(Cycle now, WakeReason reason)
     csc_credited_ = 0;
     net_credited_ = 0;
     power_state_ = PowerState::kWakeup;
-    wake_done_ = now + static_cast<Cycle>(params_.t_wakeup);
+    // A wake-stuck fault arms a wake that never matures; only a retry
+    // escalation or hard failure ends it.
+    wake_done_ =
+        wake_stuck_ ? kNoCycle : now + static_cast<Cycle>(params_.t_wakeup);
     if (sink_)
         sink_->on_event({now, EventKind::kRouterWakeBegin, node_, subnet_,
                          static_cast<std::int32_t>(reason),
                          params_.t_wakeup, 0});
+}
+
+void
+Router::retry_wakeup(Cycle now)
+{
+    if (failed_ || power_state_ != PowerState::kWakeup)
+        return;
+    if (wake_stuck_) {
+        wake_done_ = kNoCycle; // re-asserted, hangs again
+        return;
+    }
+    // A healthy wake already counting down must never be pushed back:
+    // upstream routers may have flits in flight timed to the current
+    // wake_done_ (can_accept_at admitted them).
+    const Cycle done = now + static_cast<Cycle>(params_.t_wakeup);
+    if (done < wake_done_)
+        wake_done_ = done;
+}
+
+void
+Router::fail(std::vector<Flit> *dropped)
+{
+    if (failed_)
+        return;
+    for (auto &fifo : fifos_) {
+        while (!fifo.empty())
+            dropped->push_back(fifo.pop());
+    }
+    total_buffered_ = 0;
+    for (auto &st : vc_state_)
+        st = InputVcState{};
+    for (const auto &a : arrivals_)
+        dropped->push_back(a.flit);
+    arrivals_.clear();
+    credit_events_.clear();
+    std::fill(out_owner_.begin(), out_owner_.end(), 0);
+    for (int p = 0; p < kNumPorts; ++p) {
+        for (int vc = 0; vc < params_.num_vcs; ++vc) {
+            const auto idx = fifo_index(p, vc);
+            if (p == port_index(Direction::kLocal))
+                out_credits_[idx] = kLocalPortCredits;
+            else
+                out_credits_[idx] = neighbors_[static_cast<std::size_t>(p)]
+                                        ? params_.vc_depth_flits
+                                        : 0;
+        }
+    }
+    expected_packets_ = 0;
+    wake_requested_ = false;
+    idle_streak_ = 0;
+    // Leave kActive behind so no invariant sees an impossible FSM edge;
+    // failed() short-circuits every service path from here on.
+    power_state_ = PowerState::kActive;
+    failed_ = true;
 }
 
 bool
@@ -625,6 +686,12 @@ Router::flush_port_sleep_accounting(Cycle now)
 void
 Router::account_power_cycle()
 {
+    if (failed_) {
+        // A dead router draws nothing worth modelling; count it with the
+        // gated cycles so power totals reflect the lost capacity.
+        ++activity_.sleep_cycles;
+        return;
+    }
     if (power_state_ == PowerState::kSleep)
         ++activity_.sleep_cycles;
     else

@@ -186,6 +186,38 @@ class Router
     /** Accounts one cycle of residency in the current power state. */
     void account_power_cycle();
 
+    // ------------------------------------------------------------------
+    // Fault model (src/fault; DESIGN.md §10)
+    // ------------------------------------------------------------------
+
+    /** True once a hard fault has removed this router from service. */
+    bool failed() const { return failed_; }
+
+    /**
+     * Wake-stuck fault: while set, begin_wakeup() and retry_wakeup()
+     * arm a wake that never completes (wake_done_ = kNoCycle), modelling
+     * a wake sequence that hangs until the gating layer escalates.
+     */
+    void set_wake_stuck(bool stuck) { wake_stuck_ = stuck; }
+    bool wake_stuck() const { return wake_stuck_; }
+
+    /**
+     * Re-arms an in-progress wake-up (gating wake-retry path): restarts
+     * the t_wakeup countdown as if the wake signal were re-asserted.
+     * No-op unless the router is in kWakeup.
+     */
+    CATNAP_PHASE_WRITE void retry_wakeup(Cycle now);
+
+    /**
+     * Hard router failure: every buffered and in-flight flit is moved
+     * into @p dropped (the fault controller accounts them and notifies
+     * the source NIs), all allocation and power state is cleared, and
+     * the router permanently refuses service. A failed router holds no
+     * flits and accounts its cycles as sleep (a dead router leaks
+     * nothing the power model should charge for).
+     */
+    CATNAP_PHASE_WRITE void fail(std::vector<Flit> *dropped);
+
     /**
      * Folds an in-progress sleep period into the CSC counter without
      * waking the router (call at the end of a measurement interval so
@@ -359,6 +391,8 @@ class Router
     bool wake_requested_ = false;
     int expected_packets_ = 0;
     int idle_streak_ = 0;
+    bool failed_ = false;
+    bool wake_stuck_ = false;
 
     int total_buffered_ = 0;
 

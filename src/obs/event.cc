@@ -18,6 +18,12 @@ event_kind_name(EventKind k)
       case EventKind::kRouterSleep:     return "router_sleep";
       case EventKind::kRouterWakeBegin: return "router_wake_begin";
       case EventKind::kRouterActive:    return "router_active";
+      case EventKind::kFaultInjected:   return "fault_injected";
+      case EventKind::kSubnetHealth:    return "subnet_health";
+      case EventKind::kWakeRetry:       return "wake_retry";
+      case EventKind::kPacketTimeout:   return "packet_timeout";
+      case EventKind::kPacketRetransmit:return "packet_retransmit";
+      case EventKind::kPacketDrop:      return "packet_drop";
     }
     return "?";
 }
@@ -28,6 +34,7 @@ wake_reason_name(WakeReason r)
     switch (r) {
       case WakeReason::kLookahead: return "lookahead";
       case WakeReason::kRcs:       return "rcs";
+      case WakeReason::kRetry:     return "retry";
     }
     return "?";
 }

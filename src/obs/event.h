@@ -67,15 +67,44 @@ enum class EventKind : std::int8_t {
 
     /** Router wake-up completed (Wakeup -> Active). */
     kRouterActive = 11,
+
+    /** A fault from the FaultPlan fired (src/fault). [a=FaultKind,
+     * b=kind-specific detail: port for link faults, region for RCS
+     * glitches, retry count for wake escalations] */
+    kFaultInjected = 12,
+
+    /** A subnet was removed from service by a hard fault. [node=root
+     * fault node, b=subnet now holding the never-sleep duty (kNoSubnet
+     * when every subnet is dead)] */
+    kSubnetHealth = 13,
+
+    /** The gating layer re-asserted a wake that failed to complete
+     * within t_wake_timeout. [a=retry number, b=backoff in cycles until
+     * the next check] */
+    kWakeRetry = 14,
+
+    /** A source NI's end-to-end delivery deadline expired for a packet
+     * not known lost; the timer re-arms. [pkt=packet id, a=attempts] */
+    kPacketTimeout = 15,
+
+    /** A source NI re-offered a packet whose flits were purged by a
+     * hard fault. [pkt=packet id, a=attempt number] */
+    kPacketRetransmit = 16,
+
+    /** A source NI abandoned a packet after exhausting retransmission
+     * attempts (or with no healthy subnet left). [pkt=packet id,
+     * a=attempts] */
+    kPacketDrop = 17,
 };
 
 /** Number of distinct event kinds. */
-inline constexpr int kNumEventKinds = 12;
+inline constexpr int kNumEventKinds = 18;
 
 /** Why a sleeping router was woken (kRouterWakeBegin payload `a`). */
 enum class WakeReason : std::int8_t {
     kLookahead = 0, ///< look-ahead wake signal from upstream / the NI
     kRcs = 1,       ///< Catnap policy: lower-order subnet's RCS set
+    kRetry = 2,     ///< fault model: gating re-asserted a stuck wake
 };
 
 /** Stable machine-readable name for @p k (used by the exporters). */

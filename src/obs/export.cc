@@ -190,6 +190,38 @@ write_chrome_trace(std::ostream &os, const EventTrace &trace,
                        << ",\"reason\":" << ev.b << ",\"pkt\":" << ev.pkt
                        << "}}";
             break;
+          case EventKind::kFaultInjected:
+            arr.next() << "{\"name\":\"fault\",\"cat\":\"fault\","
+                          "\"ph\":\"i\",\"ts\":"
+                       << ev.cycle << ",\"pid\":" << ev.subnet
+                       << ",\"tid\":" << ev.node
+                       << ",\"s\":\"p\",\"args\":{\"kind\":" << ev.a
+                       << ",\"detail\":" << ev.b << "}}";
+            break;
+          case EventKind::kSubnetHealth:
+            arr.next() << "{\"name\":\"subnet failed\",\"cat\":\"fault\","
+                          "\"ph\":\"i\",\"ts\":"
+                       << ev.cycle << ",\"pid\":" << ev.subnet
+                       << ",\"tid\":" << ev.node
+                       << ",\"s\":\"g\",\"args\":{\"never_sleep\":" << ev.b
+                       << "}}";
+            break;
+          case EventKind::kWakeRetry:
+            write_instant(arr, "wake retry", "fault", ev.subnet, ev.node,
+                          ev.cycle);
+            break;
+          case EventKind::kPacketTimeout:
+            write_instant(arr, "pkt timeout", "fault", ev.subnet, ev.node,
+                          ev.cycle);
+            break;
+          case EventKind::kPacketRetransmit:
+            write_instant(arr, "pkt retransmit", "fault", ev.subnet,
+                          ev.node, ev.cycle);
+            break;
+          case EventKind::kPacketDrop:
+            write_instant(arr, "pkt drop", "fault", ev.subnet, ev.node,
+                          ev.cycle);
+            break;
           case EventKind::kFlitEject:
           case EventKind::kSubnetSelect:
             break; // JSONL-only detail; spans/counters cover the story

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "common/log.h"
+#include "fault/fault.h"
 #include "noc/multinoc.h"
 
 namespace catnap {
@@ -40,14 +41,18 @@ SnapshotRecorder::observe(const MultiNoc &net, Cycle now)
         return;
 
     const int nodes = net.num_nodes();
+    const FaultController *fault = net.fault();
     for (SubnetId s = 0; s < net.num_subnets(); ++s) {
         SnapshotRow row;
         row.cycle = now;
         row.subnet = s;
         row.num_routers = nodes;
+        row.healthy = (fault == nullptr || fault->health().healthy(s)) ? 1 : 0;
         for (NodeId n = 0; n < nodes; ++n) {
             const Router &r = net.router(s, n);
             row.buffered_flits += r.total_occupancy();
+            if (r.failed())
+                ++row.failed_routers;
             if (r.power_state() == PowerState::kSleep)
                 ++row.sleeping_routers;
         }
@@ -72,11 +77,12 @@ void
 SnapshotRecorder::write_csv(std::ostream &os) const
 {
     os << "cycle,subnet,buffered_flits,sleeping_routers,num_routers,"
-          "rcs_duty,injected_flits\n";
+          "rcs_duty,injected_flits,healthy,failed_routers\n";
     for (const SnapshotRow &r : rows_) {
         os << r.cycle << ',' << r.subnet << ',' << r.buffered_flits << ','
            << r.sleeping_routers << ',' << r.num_routers << ','
-           << r.rcs_duty << ',' << r.injected_flits << '\n';
+           << r.rcs_duty << ',' << r.injected_flits << ',' << r.healthy
+           << ',' << r.failed_routers << '\n';
     }
 }
 

@@ -34,6 +34,8 @@ struct SnapshotRow
     double rcs_duty = 0.0;     ///< mean fraction of RCS bits set over
                                ///< the epoch, in [0, 1]
     std::uint64_t injected_flits = 0; ///< flits injected this epoch
+    int healthy = 1;           ///< 0 once the fault model failed the subnet
+    int failed_routers = 0;    ///< routers killed by fault injection
 };
 
 /**
@@ -64,7 +66,7 @@ class SnapshotRecorder
      * Writes the rows as CSV with a header row.
      *
      * Columns: cycle, subnet, buffered_flits, sleeping_routers,
-     * num_routers, rcs_duty, injected_flits
+     * num_routers, rcs_duty, injected_flits, healthy, failed_routers
      */
     void write_csv(std::ostream &os) const;
 

@@ -14,7 +14,7 @@ write_csv(std::ostream &os, const std::vector<SyntheticResult> &rows)
           "p50_latency,p99_latency,csc_percent,vdd,power_total,"
           "power_static,power_buffer,power_crossbar,power_control,"
           "power_clock,power_link,power_ni,power_ornet,"
-          "measured_packets\n";
+          "measured_packets,drained,retransmits,dropped_packets\n";
     for (const auto &r : rows) {
         os << r.config_label << ',' << r.offered_load << ','
            << r.offered_rate << ',' << r.accepted_rate << ','
@@ -24,7 +24,9 @@ write_csv(std::ostream &os, const std::vector<SyntheticResult> &rows)
            << ',' << r.power_static.total() << ',' << r.power.buffer
            << ',' << r.power.crossbar << ',' << r.power.control << ','
            << r.power.clock << ',' << r.power.link << ',' << r.power.ni
-           << ',' << r.power.or_net << ',' << r.measured_packets << '\n';
+           << ',' << r.power.or_net << ',' << r.measured_packets << ','
+           << (r.drained ? 1 : 0) << ',' << r.retransmits << ','
+           << r.dropped_packets << '\n';
     }
 }
 

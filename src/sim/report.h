@@ -25,7 +25,8 @@ namespace catnap {
  * Columns: config, load, offered, accepted, avg_latency, net_latency,
  * p50_latency, p99_latency, csc_percent, vdd, power_total, power_static,
  * power_buffer, power_crossbar, power_control, power_clock, power_link,
- * power_ni, power_ornet, measured_packets
+ * power_ni, power_ornet, measured_packets, drained, retransmits,
+ * dropped_packets
  */
 void write_csv(std::ostream &os, const std::vector<SyntheticResult> &rows);
 

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include "common/log.h"
+#include "fault/fault.h"
 #include "obs/snapshot.h"
 #include "power/voltage.h"
 
@@ -79,6 +80,24 @@ run_synthetic(const MultiNocConfig &net_cfg, const SyntheticConfig &traffic,
         net.tick();
         if (params.snapshots)
             params.snapshots->observe(net, net.now() - 1);
+    }
+    res.drained = net.quiescent();
+    if (!res.drained) {
+        const std::uint64_t done = net.metrics().ejected_packets() +
+                                   net.metrics().dropped_packets();
+        const std::uint64_t offered = net.metrics().offered_packets();
+        CATNAP_WARN("drain budget of ", params.drain_max,
+                    " cycles exhausted with ",
+                    offered > done ? offered - done : 0,
+                    " packets still in flight (config ", cfg.label(),
+                    ", load ", traffic.load,
+                    "); latency tail is truncated");
+    }
+    res.retransmits = net.metrics().retransmits();
+    res.dropped_packets = net.metrics().dropped_packets();
+    if (const FaultController *fault = net.fault()) {
+        res.faults_fired = fault->faults_fired();
+        res.subnet_failures = fault->subnet_failures();
     }
 
     res.avg_latency = net.metrics().total_latency().mean();

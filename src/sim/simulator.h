@@ -60,6 +60,18 @@ struct SyntheticResult
     PowerBreakdown power;        ///< network power over the window, watts
     PowerBreakdown power_static; ///< static-only portion
     std::uint64_t measured_packets = 0;
+
+    /**
+     * False when the post-measurement drain phase exhausted drain_max
+     * cycles with packets still in flight: the latency statistics above
+     * then under-count the slowest packets. Reported (with the in-flight
+     * count) on stderr and as a CSV column.
+     */
+    bool drained = true;
+    std::uint64_t retransmits = 0;     ///< fault model: packets re-sent
+    std::uint64_t dropped_packets = 0; ///< fault model: packets given up
+    std::uint64_t faults_fired = 0;    ///< scheduled+probabilistic faults
+    std::uint64_t subnet_failures = 0; ///< subnets lost to hard faults
 };
 
 /** Supply voltage a config runs at under @p params' scaling rule. */

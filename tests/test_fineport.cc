@@ -7,6 +7,7 @@
 
 #include "noc/multinoc.h"
 #include "power/power_meter.h"
+#include "test_util.h"
 #include "traffic/synthetic.h"
 
 namespace catnap {
@@ -47,9 +48,7 @@ TEST(FinePort, TrafficDeliversThroughGatedPorts)
         gen.step(net.now());
         net.tick();
     }
-    for (int i = 0; i < 60000 && !net.quiescent(); ++i)
-        net.tick();
-    ASSERT_TRUE(net.quiescent());
+    ASSERT_TRUE(test::drain_until_quiescent(net, 60000));
     EXPECT_EQ(net.metrics().offered_packets(),
               net.metrics().ejected_packets());
 }

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "noc/multinoc.h"
+#include "test_util.h"
 #include "traffic/synthetic.h"
 
 namespace catnap {
@@ -190,8 +191,7 @@ TEST(Gating, CatnapReturnsToSleepAfterBurst)
         net.tick();
     }
     // Stop traffic; after drain + idle detect the higher subnets sleep.
-    for (int i = 0; i < 30000 && !net.quiescent(); ++i)
-        net.tick();
+    test::drain_until_quiescent(net, 30000);
     net.run(200);
     for (SubnetId s = 1; s < 4; ++s) {
         EXPECT_EQ(count_state(net, s, PowerState::kSleep), 64)

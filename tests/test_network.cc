@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "noc/multinoc.h"
+#include "test_util.h"
 #include "traffic/synthetic.h"
 
 namespace catnap {
@@ -149,9 +150,7 @@ TEST(Network, AllPairsDelivery)
             ++offered;
         }
     }
-    for (int i = 0; i < 20000 && !net.quiescent(); ++i)
-        net.tick();
-    EXPECT_TRUE(net.quiescent());
+    EXPECT_TRUE(test::drain_until_quiescent(net, 20000));
     EXPECT_EQ(delivered, offered);
 }
 
@@ -166,9 +165,7 @@ TEST(Network, FlitConservationUnderLoad)
         net.tick();
     }
     // Drain.
-    for (int i = 0; i < 30000 && !net.quiescent(); ++i)
-        net.tick();
-    ASSERT_TRUE(net.quiescent());
+    ASSERT_TRUE(test::drain_until_quiescent(net, 30000));
     const auto &m = net.metrics();
     EXPECT_EQ(m.offered_packets(), m.ejected_packets());
     EXPECT_EQ(m.offered_flits(), m.ejected_flits());
@@ -253,9 +250,7 @@ TEST(Network, TransposeTrafficDelivers)
         gen.step(net.now());
         net.tick();
     }
-    for (int i = 0; i < 30000 && !net.quiescent(); ++i)
-        net.tick();
-    EXPECT_TRUE(net.quiescent());
+    EXPECT_TRUE(test::drain_until_quiescent(net, 30000));
     EXPECT_EQ(net.metrics().offered_packets(),
               net.metrics().ejected_packets());
 }

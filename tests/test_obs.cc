@@ -457,7 +457,7 @@ TEST(SnapshotRecorder, CsvHasHeaderAndOneLinePerRow)
     ASSERT_TRUE(std::getline(is, line));
     EXPECT_EQ(line,
               "cycle,subnet,buffered_flits,sleeping_routers,num_routers,"
-              "rcs_duty,injected_flits");
+              "rcs_duty,injected_flits,healthy,failed_routers");
     std::size_t rows = 0;
     while (std::getline(is, line))
         ++rows;

@@ -11,6 +11,7 @@
 
 #include "noc/multinoc.h"
 #include "sim/simulator.h"
+#include "test_util.h"
 #include "traffic/synthetic.h"
 
 namespace catnap {
@@ -43,9 +44,8 @@ TEST_P(ConservationProperty, OfferedEqualsDelivered)
         gen.step(net.now());
         net.tick();
     }
-    for (int i = 0; i < 60000 && !net.quiescent(); ++i)
-        net.tick();
-    ASSERT_TRUE(net.quiescent()) << "network failed to drain";
+    ASSERT_TRUE(test::drain_until_quiescent(net, 60000))
+        << "network failed to drain";
     EXPECT_EQ(net.metrics().offered_packets(),
               net.metrics().ejected_packets());
     EXPECT_EQ(net.metrics().offered_flits(),
@@ -225,9 +225,7 @@ TEST_P(MetricFunctionalProperty, DeliversUnderLoad)
         gen.step(net.now());
         net.tick();
     }
-    for (int i = 0; i < 60000 && !net.quiescent(); ++i)
-        net.tick();
-    ASSERT_TRUE(net.quiescent());
+    ASSERT_TRUE(test::drain_until_quiescent(net, 60000));
     EXPECT_EQ(net.metrics().offered_packets(),
               net.metrics().ejected_packets());
 }

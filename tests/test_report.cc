@@ -50,7 +50,9 @@ TEST(Report, SyntheticCsvShape)
         return std::count(s.begin(), s.end(), ',');
     };
     EXPECT_EQ(count_commas(lines[0]), count_commas(lines[1]));
-    EXPECT_EQ(count_commas(lines[0]), 19);
+    EXPECT_EQ(count_commas(lines[0]), 22);
+    // The drain flag defaults to "completed".
+    EXPECT_NE(lines[1].find(",1,0,0"), std::string::npos);
 }
 
 TEST(Report, AppCsvShape)

@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "noc/multinoc.h"
+#include "test_util.h"
 #include "traffic/synthetic.h"
 
 namespace catnap {
@@ -38,9 +39,7 @@ TEST(Robustness, RandomPacketSoup)
         }
         net.tick();
     }
-    for (int i = 0; i < 120000 && !net.quiescent(); ++i)
-        net.tick();
-    ASSERT_TRUE(net.quiescent());
+    ASSERT_TRUE(test::drain_until_quiescent(net));
     EXPECT_EQ(net.metrics().offered_packets(), offered);
     EXPECT_EQ(net.metrics().ejected_packets(), offered);
     EXPECT_EQ(net.metrics().offered_flits(),
@@ -66,9 +65,7 @@ TEST(Robustness, SpuriousWakeSignalsAreHarmless)
         }
         net.tick();
     }
-    for (int i = 0; i < 60000 && !net.quiescent(); ++i)
-        net.tick();
-    ASSERT_TRUE(net.quiescent());
+    ASSERT_TRUE(test::drain_until_quiescent(net, 60000));
     EXPECT_EQ(net.metrics().offered_packets(),
               net.metrics().ejected_packets());
 }
@@ -94,9 +91,7 @@ TEST(Robustness, LoadFlapping)
         EXPECT_GT(net.metrics().ejected_packets(), last);
         last = net.metrics().ejected_packets();
     }
-    for (int i = 0; i < 120000 && !net.quiescent(); ++i)
-        net.tick();
-    ASSERT_TRUE(net.quiescent());
+    ASSERT_TRUE(test::drain_until_quiescent(net));
     EXPECT_EQ(net.metrics().offered_packets(),
               net.metrics().ejected_packets());
 }
@@ -122,9 +117,7 @@ TEST(Robustness, HotspotDrainsAfterStorm)
         }
         net.tick();
     }
-    for (int i = 0; i < 200000 && !net.quiescent(); ++i)
-        net.tick();
-    ASSERT_TRUE(net.quiescent());
+    ASSERT_TRUE(test::drain_until_quiescent(net, 200000));
     EXPECT_EQ(net.metrics().offered_packets(),
               net.metrics().ejected_packets());
     net.run(300);
@@ -154,9 +147,7 @@ TEST(Robustness, SoakBurstyLongRun)
         gen.step(net.now());
         net.tick();
     }
-    for (int i = 0; i < 120000 && !net.quiescent(); ++i)
-        net.tick();
-    ASSERT_TRUE(net.quiescent());
+    ASSERT_TRUE(test::drain_until_quiescent(net));
     EXPECT_EQ(net.metrics().offered_packets(),
               net.metrics().ejected_packets());
     net.finalize_accounting();
@@ -186,9 +177,8 @@ TEST(Robustness, EveryMeshShapeDelivers)
             gen.step(net.now());
             net.tick();
         }
-        for (int i = 0; i < 60000 && !net.quiescent(); ++i)
-            net.tick();
-        ASSERT_TRUE(net.quiescent()) << s.w << "x" << s.h;
+        ASSERT_TRUE(test::drain_until_quiescent(net, 60000))
+            << s.w << "x" << s.h;
         EXPECT_EQ(net.metrics().offered_packets(),
                   net.metrics().ejected_packets())
             << s.w << "x" << s.h;

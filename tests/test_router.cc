@@ -13,6 +13,7 @@
 
 #include "noc/arbiter.h"
 #include "noc/multinoc.h"
+#include "test_util.h"
 #include "traffic/synthetic.h"
 
 namespace catnap {
@@ -65,9 +66,7 @@ TEST(RouterUnit, CreditsRestoredWhenQuiescent)
         gen.step(net.now());
         net.tick();
     }
-    for (int i = 0; i < 20000 && !net.quiescent(); ++i)
-        net.tick();
-    ASSERT_TRUE(net.quiescent());
+    ASSERT_TRUE(test::drain_until_quiescent(net, 20000));
     net.run(10); // let in-flight credits land
     for (NodeId n = 0; n < net.num_nodes(); ++n) {
         const Router &r = net.router(0, n);
@@ -221,9 +220,7 @@ TEST(RouterUnit, UTurnNeverHappens)
         gen.step(net.now());
         net.tick();
     }
-    for (int i = 0; i < 30000 && !net.quiescent(); ++i)
-        net.tick();
-    EXPECT_TRUE(net.quiescent());
+    EXPECT_TRUE(test::drain_until_quiescent(net, 30000));
     EXPECT_EQ(net.metrics().offered_packets(),
               net.metrics().ejected_packets());
 }

@@ -9,6 +9,7 @@
 
 #include "noc/multinoc.h"
 #include "noc/routing.h"
+#include "test_util.h"
 #include "traffic/synthetic.h"
 
 namespace catnap {
@@ -121,9 +122,7 @@ TEST(Torus, AllPairsDelivery)
             ++offered;
         }
     }
-    for (int i = 0; i < 30000 && !net.quiescent(); ++i)
-        net.tick();
-    EXPECT_TRUE(net.quiescent());
+    EXPECT_TRUE(test::drain_until_quiescent(net, 30000));
     EXPECT_EQ(delivered, offered);
 }
 
@@ -163,9 +162,8 @@ TEST(Torus, AdversarialPatternsConserve)
             gen.step(net.now());
             net.tick();
         }
-        for (int i = 0; i < 120000 && !net.quiescent(); ++i)
-            net.tick();
-        ASSERT_TRUE(net.quiescent()) << pattern_kind_name(pattern);
+        ASSERT_TRUE(test::drain_until_quiescent(net))
+            << pattern_kind_name(pattern);
         EXPECT_EQ(net.metrics().offered_packets(),
                   net.metrics().ejected_packets())
             << pattern_kind_name(pattern);

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "noc/multinoc.h"
+#include "test_util.h"
 #include "traffic/synthetic.h"
 #include "traffic/trace.h"
 
@@ -88,8 +89,7 @@ TEST(Trace, RecordedRunReplaysIdentically)
             gen.step(net.now());
             net.tick();
         }
-        for (int i = 0; i < 30000 && !net.quiescent(); ++i)
-            net.tick();
+        test::drain_until_quiescent(net, 30000);
         recorded_ejected = net.metrics().ejected_packets();
     }
     ASSERT_GT(rec.records().size(), 5000u);

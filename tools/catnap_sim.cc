@@ -13,6 +13,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "app/system.h"
 #include "obs/export.h"
@@ -56,7 +57,27 @@ usage(int code)
         "  --trace-events N          event ring-buffer capacity\n"
         "                            (default 1048576; oldest dropped)\n"
         "  --snapshot-every N        epoch snapshot interval, cycles\n"
-        "  --snapshot-out FILE       snapshot CSV (default snapshots.csv)\n");
+        "  --snapshot-out FILE       snapshot CSV (default snapshots.csv)\n"
+        "fault injection (repeatable; empty plan = bit-identical "
+        "baseline):\n"
+        "  --fault-kill-router C:S:N     hard router death at cycle C,\n"
+        "                                subnet S, node N\n"
+        "  --fault-kill-link C:S:N:DIR   dead output link (DIR = north|\n"
+        "                                east|south|west|local)\n"
+        "  --fault-wake-stuck C:S:N      wake sequence hangs until the\n"
+        "                                retry path escalates\n"
+        "  --fault-lose-wakes C:S:N:DUR  swallow wake-ups for DUR cycles\n"
+        "  --fault-delay-wakes C:S:N:DUR:DELAY\n"
+        "                                defer wake-ups by DELAY cycles\n"
+        "                                for a DUR-cycle window\n"
+        "  --fault-rcs-glitch C:S:NODE   flip the latched RCS bit of the\n"
+        "                                region containing NODE once\n"
+        "  --fault-wake-loss-prob P      per-wake loss probability\n"
+        "  --fault-rcs-glitch-prob P     per-(subnet,region) glitch\n"
+        "                                probability per RCS latch\n"
+        "  --fault-seed N                fault RNG stream seed\n"
+        "  --fault-wake-timeout N        cycles before a wake is retried\n"
+        "  --fault-packet-timeout N      end-to-end deadline per attempt\n");
     std::exit(code);
 }
 
@@ -126,6 +147,61 @@ parse_workload(const std::string &v)
     if (v == "medium-heavy") return medium_heavy_mix();
     if (v == "heavy") return heavy_mix();
     std::fprintf(stderr, "unknown workload: %s\n", v.c_str());
+    usage(2);
+}
+
+/**
+ * Splits a colon-separated fault spec ("C:S:N[:...]") into exactly
+ * @p want numeric fields; with @p tail, one extra trailing string field
+ * is split off first (the link direction). Exits with usage on mismatch.
+ */
+std::vector<long long>
+parse_fields(const char *flag, const std::string &value, std::size_t want,
+             std::string *tail = nullptr)
+{
+    std::vector<std::string> fields;
+    std::size_t pos = 0;
+    for (;;) {
+        const std::size_t next = value.find(':', pos);
+        if (next == std::string::npos) {
+            fields.push_back(value.substr(pos));
+            break;
+        }
+        fields.push_back(value.substr(pos, next - pos));
+        pos = next + 1;
+    }
+    if (fields.size() != want + (tail != nullptr ? 1 : 0)) {
+        std::fprintf(stderr, "expected %zu ':'-separated fields in %s %s\n",
+                     want + (tail != nullptr ? 1 : 0), flag, value.c_str());
+        usage(2);
+    }
+    if (tail != nullptr) {
+        *tail = fields.back();
+        fields.pop_back();
+    }
+    std::vector<long long> out;
+    for (const std::string &field : fields) {
+        char *end = nullptr;
+        const long long v = std::strtoll(field.c_str(), &end, 10);
+        if (field.empty() || *end != '\0' || v < 0) {
+            std::fprintf(stderr, "bad field '%s' in %s %s\n",
+                         field.c_str(), flag, value.c_str());
+            usage(2);
+        }
+        out.push_back(v);
+    }
+    return out;
+}
+
+Direction
+parse_direction(const std::string &v)
+{
+    if (v == "north") return Direction::kNorth;
+    if (v == "east") return Direction::kEast;
+    if (v == "south") return Direction::kSouth;
+    if (v == "west") return Direction::kWest;
+    if (v == "local") return Direction::kLocal;
+    std::fprintf(stderr, "unknown link direction: %s\n", v.c_str());
     usage(2);
 }
 
@@ -211,6 +287,60 @@ main(int argc, char **argv)
                 static_cast<Cycle>(std::atoll(need_value(argc, argv, i)));
         else if (a == "--snapshot-out")
             snapshot_out = need_value(argc, argv, i);
+        else if (a == "--fault-kill-router") {
+            const auto f =
+                parse_fields(a.c_str(), need_value(argc, argv, i), 3);
+            cfg.fault.kill_router(static_cast<Cycle>(f[0]),
+                                  static_cast<SubnetId>(f[1]),
+                                  static_cast<NodeId>(f[2]));
+        } else if (a == "--fault-kill-link") {
+            std::string dir;
+            const auto f =
+                parse_fields(a.c_str(), need_value(argc, argv, i), 3, &dir);
+            cfg.fault.kill_link(static_cast<Cycle>(f[0]),
+                                static_cast<SubnetId>(f[1]),
+                                static_cast<NodeId>(f[2]),
+                                parse_direction(dir));
+        } else if (a == "--fault-wake-stuck") {
+            const auto f =
+                parse_fields(a.c_str(), need_value(argc, argv, i), 3);
+            cfg.fault.stick_wake(static_cast<Cycle>(f[0]),
+                                 static_cast<SubnetId>(f[1]),
+                                 static_cast<NodeId>(f[2]));
+        } else if (a == "--fault-lose-wakes") {
+            const auto f =
+                parse_fields(a.c_str(), need_value(argc, argv, i), 4);
+            cfg.fault.lose_wakes(static_cast<Cycle>(f[0]),
+                                 static_cast<SubnetId>(f[1]),
+                                 static_cast<NodeId>(f[2]),
+                                 static_cast<Cycle>(f[3]));
+        } else if (a == "--fault-delay-wakes") {
+            const auto f =
+                parse_fields(a.c_str(), need_value(argc, argv, i), 5);
+            cfg.fault.delay_wakes(static_cast<Cycle>(f[0]),
+                                  static_cast<SubnetId>(f[1]),
+                                  static_cast<NodeId>(f[2]),
+                                  static_cast<Cycle>(f[3]),
+                                  static_cast<Cycle>(f[4]));
+        } else if (a == "--fault-rcs-glitch") {
+            const auto f =
+                parse_fields(a.c_str(), need_value(argc, argv, i), 3);
+            cfg.fault.glitch_rcs(static_cast<Cycle>(f[0]),
+                                 static_cast<SubnetId>(f[1]),
+                                 static_cast<NodeId>(f[2]));
+        } else if (a == "--fault-wake-loss-prob")
+            cfg.fault.wake_loss_prob = std::atof(need_value(argc, argv, i));
+        else if (a == "--fault-rcs-glitch-prob")
+            cfg.fault.rcs_glitch_prob = std::atof(need_value(argc, argv, i));
+        else if (a == "--fault-seed")
+            cfg.fault.seed = static_cast<std::uint64_t>(
+                std::atoll(need_value(argc, argv, i)));
+        else if (a == "--fault-wake-timeout")
+            cfg.fault.tuning.t_wake_timeout =
+                static_cast<Cycle>(std::atoll(need_value(argc, argv, i)));
+        else if (a == "--fault-packet-timeout")
+            cfg.fault.tuning.packet_timeout =
+                static_cast<Cycle>(std::atoll(need_value(argc, argv, i)));
         else {
             std::fprintf(stderr, "unknown option: %s\n", a.c_str());
             usage(2);
@@ -247,6 +377,19 @@ main(int argc, char **argv)
         std::printf("CSC          : %.1f %%\n", r.csc_percent);
         std::printf("voltage      : %.3f V\n", r.vdd);
         print_power(r.power, r.power_static);
+        if (!cfg.fault.empty()) {
+            std::printf("faults       : %llu fired, %llu subnet "
+                        "failure(s)\n",
+                        static_cast<unsigned long long>(r.faults_fired),
+                        static_cast<unsigned long long>(
+                            r.subnet_failures));
+            std::printf("resilience   : %llu retransmit(s), %llu "
+                        "dropped packet(s), drained=%s\n",
+                        static_cast<unsigned long long>(r.retransmits),
+                        static_cast<unsigned long long>(
+                            r.dropped_packets),
+                        r.drained ? "yes" : "no");
+        }
 
         if (trace) {
             std::printf("trace        : %llu events recorded, %llu "
