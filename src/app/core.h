@@ -19,6 +19,7 @@
 #include "app/workload.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "common/phase.h"
 
 namespace catnap {
 
@@ -66,8 +67,8 @@ class CoreModel
     CoreId id() const { return id_; }
 
   private:
-    void enter_phase(Cycle now, bool quiet);
-    void draw_gap();
+    CATNAP_PHASE_WRITE void enter_phase(Cycle now, bool quiet);
+    CATNAP_PHASE_WRITE void draw_gap();
 
     CoreId id_;
     BenchmarkProfile profile_;

@@ -33,6 +33,7 @@
 #include "app/workload.h"
 #include "noc/multinoc.h"
 #include "power/power_meter.h"
+#include "common/phase.h"
 
 namespace catnap {
 
@@ -150,11 +151,12 @@ class CmpSystem
         bool operator>(const DeferredSend &o) const { return ready > o.ready; }
     };
 
-    void issue_miss(CoreId core, Cycle now);
+    CATNAP_PHASE_WRITE void issue_miss(CoreId core, Cycle now);
     void on_packet(NodeId at, const Flit &tail, Cycle now);
     void send_later(Cycle ready, PacketDesc pkt);
-    void flush_sends(Cycle now);
-    PacketDesc make_packet(NodeId src, NodeId dst, MessageClass mc,
+    CATNAP_PHASE_WRITE void flush_sends(Cycle now);
+    CATNAP_PHASE_WRITE PacketDesc make_packet(NodeId src, NodeId dst,
+                                              MessageClass mc,
                            int bits, Cycle now, Tag tag);
 
     MultiNocConfig cfg_;

@@ -60,15 +60,18 @@ double
 CongestionState::metric_value(NodeSample &ns, NodeId node, SubnetId s,
                               bool window_boundary)
 {
-    (void)node;
+    // Router-side metrics work without an NI attached (the model
+    // checker's hand-wired world has none); NI-side metrics insist.
     switch (cfg_.metric) {
       case CongestionMetric::kBufferMax:
         return static_cast<double>(ns.router->max_port_occupancy());
       case CongestionMetric::kBufferAvg:
         return ns.router->avg_port_occupancy();
       case CongestionMetric::kInjQueueOcc:
+        CATNAP_ASSERT(ns.ni, "IQOcc metric needs an NI at node ", node);
         return static_cast<double>(ns.ni->inj_queue_flits());
       case CongestionMetric::kInjectionRate: {
+        CATNAP_ASSERT(ns.ni, "IR metric needs an NI at node ", node);
         if (window_boundary) {
             const std::uint64_t pkts = ns.ni->injected_packets(s);
             ns.last_window_value =
@@ -109,7 +112,7 @@ CongestionState::update(Cycle now)
         for (NodeId n = 0; n < nodes; ++n) {
             const auto idx = index(n, s);
             auto &ns = samples_[idx];
-            CATNAP_ASSERT(ns.router && ns.ni,
+            CATNAP_ASSERT(ns.router,
                           "congestion sample not attached for node ", n,
                           " subnet ", s);
             const double v = metric_value(ns, n, s, window_boundary);

@@ -88,7 +88,10 @@ class CongestionState
 
     /**
      * Registers the router and NI serving @p node on subnet @p s. Must be
-     * called for every (node, subnet) before the first update().
+     * called for every (node, subnet) before the first update(). The NI
+     * may be null for router-side metrics (BFM/BFA) only — the model
+     * checker (tools/model/) wires routers without NIs; the NI-side
+     * metrics (IQOcc/IR) assert it at sample time.
      */
     void attach(NodeId node, SubnetId s, const Router *router,
                 const NetworkInterface *ni);
@@ -113,6 +116,17 @@ class CongestionState
     bool lcs(NodeId node, SubnetId s) const
     {
         return lcs_[index(node, s)];
+    }
+
+    /**
+     * Cycle until which @p node's LCS for subnet @p s stays asserted by
+     * hysteresis (0 when never set). Exposed so the model checker's
+     * state vector captures the remaining hold time exactly.
+     */
+    Cycle
+    lcs_hold_until(NodeId node, SubnetId s) const
+    {
+        return samples_[index(node, s)].lcs_set_until;
     }
 
     /** Latched regional congestion status for @p node's region. */

@@ -4,7 +4,7 @@
 
 #include "catnap/congestion.h"
 #include "common/log.h"
-#include "fault/fault.h"
+#include "fault/wake_fault.h"
 #include "noc/router.h"
 #include "topology/topology.h"
 
@@ -20,6 +20,17 @@ gating_kind_name(GatingKind k)
       case GatingKind::kFinePort: return "FinePortGate";
     }
     return "?";
+}
+
+const GatingPolicy::WakeRetryState &
+GatingPolicy::retry_state(SubnetId s, NodeId n) const
+{
+    static const WakeRetryState kDefault{};
+    const auto si = static_cast<std::size_t>(s);
+    const auto ni = static_cast<std::size_t>(n);
+    if (si >= retry_.size() || ni >= retry_[si].size())
+        return kDefault;
+    return retry_[si][ni];
 }
 
 void

@@ -22,7 +22,7 @@ namespace catnap {
 class Router;
 class CongestionState;
 class ConcentratedMesh;
-class FaultController;
+class WakeFaultModel;
 
 /** Available power-gating policies. */
 enum class GatingKind : int {
@@ -67,21 +67,15 @@ class GatingPolicy
 
     /**
      * Enables the fault model (src/fault; DESIGN.md §10): look-ahead
-     * wakes are routed through the controller's loss/delay interception,
-     * and a wake that fails to complete within t_wake_timeout is
-     * re-asserted with bounded exponential backoff (retry i fires
+     * wakes are routed through the model's loss/delay interception, and
+     * a wake that fails to complete within t_wake_timeout is re-asserted
+     * with bounded exponential backoff (retry i fires
      * t_wake_timeout * (2^i - 1) cycles after the wake went pending) and
      * escalated to a hard router failure after max_wake_retries. Called
-     * by MultiNoc when the fault plan is non-empty. Not owned.
+     * by MultiNoc when the fault plan is non-empty; the model checker
+     * (tools/model/) engages its own WakeFaultModel here. Not owned.
      */
-    void engage_fault_mode(FaultController *fault) { fault_ = fault; }
-
-  protected:
-    /** Services wake requests for every attached router. */
-    CATNAP_PHASE_WRITE void service_wake_requests(Cycle now);
-
-    /** Wake-retry/escalation scan; no-op without a fault controller. */
-    CATNAP_PHASE_WRITE void service_wake_retries(Cycle now);
+    void engage_fault_mode(WakeFaultModel *fault) { fault_ = fault; }
 
     /** Wake-retry bookkeeping for one router. */
     struct WakeRetryState
@@ -91,8 +85,22 @@ class GatingPolicy
         int retries = 0;
     };
 
+    /**
+     * Retry bookkeeping for (subnet @p s, node @p n); a default state
+     * when the scan has not allocated that slot yet. Read-only
+     * visibility for the model checker's state vector and for tests.
+     */
+    const WakeRetryState &retry_state(SubnetId s, NodeId n) const;
+
+  protected:
+    /** Services wake requests for every attached router. */
+    CATNAP_PHASE_WRITE void service_wake_requests(Cycle now);
+
+    /** Wake-retry/escalation scan; no-op without a fault model. */
+    CATNAP_PHASE_WRITE void service_wake_retries(Cycle now);
+
     std::vector<std::vector<Router *>> routers_; // [subnet][node]
-    FaultController *fault_ = nullptr;
+    WakeFaultModel *fault_ = nullptr;
     std::vector<std::vector<WakeRetryState>> retry_; // [subnet][node]
 };
 

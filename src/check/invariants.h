@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "common/phase.h"
 
 namespace catnap {
 
@@ -102,7 +103,7 @@ class InvariantChecker
      * of cycle @p now, after the policy phase (MultiNoc::tick does this
      * automatically in CATNAP_CHECKS builds).
      */
-    void run(const MultiNoc &noc, Cycle now);
+    CATNAP_PHASE_WRITE void run(const MultiNoc &noc, Cycle now);
 
     /** Violations collected so far (non-aborting mode). */
     const std::vector<InvariantViolation> &violations() const
@@ -121,9 +122,9 @@ class InvariantChecker
     void check_credit_conservation(const MultiNoc &noc, Cycle now);
     void check_gating_legality(const MultiNoc &noc, Cycle now);
     void check_congestion_causality(const MultiNoc &noc, Cycle now);
-    void check_forward_progress(const MultiNoc &noc, Cycle now);
-    void capture_shadow(const MultiNoc &noc);
-    void report(InvariantViolation::Kind kind, Cycle now,
+    CATNAP_PHASE_WRITE void check_forward_progress(const MultiNoc &noc, Cycle now);
+    CATNAP_PHASE_WRITE void capture_shadow(const MultiNoc &noc);
+    CATNAP_PHASE_WRITE void report(InvariantViolation::Kind kind, Cycle now,
                 std::string message);
 
     Options opts_;

@@ -26,6 +26,20 @@
  * `catnap_lint` additionally requires every `evaluate`/`commit` method
  * declaration to carry one of the two annotations, so new components
  * opt into the check by construction.
+ *
+ * Convention for dual-use helpers: a function whose only effect is
+ * order-independent — appending to its own staging queue
+ * (`RingFifo::push`, `Router::deliver_flit`), bumping a monotonic
+ * counter (`NetMetrics::note_*`, the stats accumulators), latching a
+ * wake-request flag, or recording a trace event — is annotated
+ * CATNAP_PHASE_READ even when the commit phase also calls it: it is
+ * *legal during evaluate*, which is exactly what the label asserts, and
+ * WRITE functions may freely call READ ones. CATNAP_PHASE_WRITE is
+ * reserved for functions that mutate state other components read in the
+ * same cycle, where ordering matters. Lint rules L4 (no transitive
+ * READ → WRITE reach through unannotated helpers) and L5 (every
+ * member-state mutator reachable from the tick path carries a label)
+ * keep the annotation set closed over the call graph.
  */
 #ifndef CATNAP_COMMON_PHASE_H
 #define CATNAP_COMMON_PHASE_H

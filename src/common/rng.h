@@ -12,6 +12,7 @@
 #define CATNAP_COMMON_RNG_H
 
 #include <cstdint>
+#include "common/phase.h"
 
 namespace catnap {
 
@@ -42,7 +43,7 @@ class Rng
     }
 
     /** Returns the next 64 uniformly distributed bits. */
-    std::uint64_t
+    CATNAP_PHASE_READ std::uint64_t
     next_u64()
     {
         const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;

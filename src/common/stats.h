@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <limits>
 #include <vector>
+#include "common/phase.h"
 
 namespace catnap {
 
@@ -22,7 +23,7 @@ class RunningStat
 {
   public:
     /** Adds one sample. */
-    void
+    CATNAP_PHASE_READ void
     add(double x)
     {
         ++n_;
@@ -89,7 +90,7 @@ class Histogram
     }
 
     /** Adds one sample. */
-    void
+    CATNAP_PHASE_READ void
     add(double x)
     {
         auto idx = static_cast<std::size_t>(std::max(0.0, x) / width_);
@@ -146,7 +147,7 @@ class WindowedSeries
     }
 
     /** Adds @p amount at time @p now, closing windows as time advances. */
-    void
+    CATNAP_PHASE_READ void
     add(std::uint64_t now, double amount)
     {
         roll_to(now);
@@ -154,7 +155,7 @@ class WindowedSeries
     }
 
     /** Advances time to @p now without adding anything. */
-    void
+    CATNAP_PHASE_READ void
     roll_to(std::uint64_t now)
     {
         const std::uint64_t idx = now / window_;

@@ -33,6 +33,7 @@
 #include "common/types.h"
 #include "fault/fault_plan.h"
 #include "fault/health.h"
+#include "fault/wake_fault.h"
 #include "obs/event.h"
 
 namespace catnap {
@@ -41,7 +42,7 @@ class MultiNoc;
 class Router;
 struct Flit;
 
-class FaultController
+class FaultController final : public WakeFaultModel
 {
   public:
     /** Binds the plan to @p noc (not owned). Sorts scheduled events. */
@@ -63,25 +64,30 @@ class FaultController
      * Returns true when the fault model swallows (or defers) the wake;
      * the caller must then NOT call begin_wakeup.
      */
-    CATNAP_PHASE_WRITE bool intercept_wake(Router *router, Cycle now);
+    CATNAP_PHASE_WRITE bool intercept_wake(Router *router,
+                                           Cycle now) override;
 
     /** A wake exhausted its retry budget: hard-fail the router (and with
      * it the subnet). */
-    CATNAP_PHASE_WRITE void escalate_wake_failure(Router *router, Cycle now);
+    CATNAP_PHASE_WRITE void escalate_wake_failure(Router *router,
+                                                  Cycle now) override;
 
     /** Emits the kWakeRetry trace event for the gating layer. */
     void note_wake_retry(const Router &router, int retry, Cycle backoff,
-                         Cycle now);
+                         Cycle now) override;
 
     /** Destination NI saw @p tail eject: ack the source NI's timer. */
     CATNAP_PHASE_WRITE void note_delivered(const Flit &tail);
 
-    const HealthMask &health() const { return monitor_.mask(); }
+    const HealthMask &health() const override { return monitor_.mask(); }
 
     /** Subnet currently holding subnet 0's never-sleep duty. */
-    SubnetId never_sleep_subnet() const { return monitor_.never_sleep_subnet(); }
+    SubnetId never_sleep_subnet() const override
+    {
+        return monitor_.never_sleep_subnet();
+    }
 
-    const FaultTuning &tuning() const { return plan_.tuning; }
+    const FaultTuning &tuning() const override { return plan_.tuning; }
     const FaultPlan &plan() const { return plan_; }
 
     /** Individual fault activations so far (scheduled + probabilistic). */
@@ -110,7 +116,7 @@ class FaultController
 
     void fire(const FaultEvent &ev, Cycle now);
     void fail_subnet(SubnetId s, NodeId root, Cycle now);
-    void emit_fault(FaultKind kind, NodeId node, SubnetId subnet,
+    CATNAP_PHASE_WRITE void emit_fault(FaultKind kind, NodeId node, SubnetId subnet,
                     std::int32_t detail, Cycle now);
 
     MultiNoc *noc_;

@@ -21,6 +21,7 @@
 
 #include "common/types.h"
 #include "obs/event.h"
+#include "common/phase.h"
 
 namespace catnap {
 
@@ -84,7 +85,7 @@ class HealthMask
     }
 
     /** Removes subnet @p s from service. */
-    void
+    CATNAP_PHASE_WRITE void
     mark_failed(SubnetId s)
     {
         healthy_[static_cast<std::size_t>(s)] = false;
@@ -118,7 +119,7 @@ class HealthMonitor
      * Marks subnet @p s failed and publishes the transition.
      * @p root is the node whose fault took the subnet down.
      */
-    void
+    CATNAP_PHASE_WRITE void
     mark_failed(SubnetId s, NodeId root, Cycle now)
     {
         if (!mask_.healthy(s))

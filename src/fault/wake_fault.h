@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The seam between the gating layer and the fault model.
+ *
+ * GatingPolicy (catnap/gating.*) needs five things from whatever fault
+ * machinery is engaged: wake interception (loss/delay faults), wake
+ * escalation (a wake that exhausted its retries), retry notification
+ * (trace events), the subnet health mask (promotion + priority-chain
+ * skipping), and the retry-timing knobs. FaultController implements
+ * this interface against a live MultiNoc; the bounded model checker
+ * (tools/model/) implements it against a hand-wired world of real
+ * routers so it can drive the *production* gating/retry code through
+ * exhaustive interleavings without constructing a MultiNoc.
+ */
+#ifndef CATNAP_FAULT_WAKE_FAULT_H
+#define CATNAP_FAULT_WAKE_FAULT_H
+
+#include "common/phase.h"
+#include "common/types.h"
+#include "fault/fault_plan.h"
+#include "fault/health.h"
+
+namespace catnap {
+
+class Router;
+
+/** What the gating layer may ask of an engaged fault model. */
+class WakeFaultModel
+{
+  public:
+    virtual ~WakeFaultModel() = default;
+
+    /**
+     * Called for every pending look-ahead wake-up. Returns true when
+     * the fault model swallows (or defers) the wake; the caller must
+     * then NOT call begin_wakeup.
+     */
+    CATNAP_PHASE_WRITE virtual bool intercept_wake(Router *router,
+                                                   Cycle now) = 0;
+
+    /** A wake exhausted its retry budget: hard-fail the router (and
+     * with it, under subnet-granular faults, the whole subnet). */
+    CATNAP_PHASE_WRITE virtual void escalate_wake_failure(Router *router,
+                                                          Cycle now) = 0;
+
+    /** Observational: the gating layer re-asserted a pending wake. */
+    virtual void note_wake_retry(const Router &router, int retry,
+                                 Cycle backoff, Cycle now) = 0;
+
+    /** Which subnets are still in service. */
+    virtual const HealthMask &health() const = 0;
+
+    /** Subnet currently holding subnet 0's never-sleep duty. */
+    virtual SubnetId never_sleep_subnet() const = 0;
+
+    /** Retry/escalation timing knobs (FaultTuning). */
+    virtual const FaultTuning &tuning() const = 0;
+};
+
+} // namespace catnap
+
+#endif // CATNAP_FAULT_WAKE_FAULT_H

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/phase.h"
 
 namespace catnap {
 
@@ -42,7 +43,7 @@ class RingFifo
     std::size_t free_slots() const { return slots_.size() - size_; }
 
     /** Enqueues @p v; panics if full (callers must check credits first). */
-    void
+    CATNAP_PHASE_READ void
     push(const T &v)
     {
         CATNAP_ASSERT(!full(), "push into full FIFO");
@@ -67,7 +68,7 @@ class RingFifo
     }
 
     /** Removes and returns the oldest element; panics if empty. */
-    T
+    CATNAP_PHASE_READ T
     pop()
     {
         CATNAP_ASSERT(!empty(), "pop from empty FIFO");
@@ -86,7 +87,7 @@ class RingFifo
     }
 
     /** Drops all elements. */
-    void
+    CATNAP_PHASE_READ void
     clear()
     {
         head_ = 0;

@@ -12,6 +12,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "common/phase.h"
 
 namespace catnap {
 
@@ -51,7 +52,7 @@ class NetMetrics
     }
 
     /** A packet was created at a source NI. */
-    void
+    CATNAP_PHASE_READ void
     note_offered(const Cycle created, int flits)
     {
         ++offered_packets_;
@@ -65,7 +66,7 @@ class NetMetrics
     }
 
     /** A flit entered subnet @p s at a source NI at cycle @p now. */
-    void
+    CATNAP_PHASE_READ void
     note_injected_flit(SubnetId s, Cycle now)
     {
         ++injected_flits_;
@@ -79,7 +80,7 @@ class NetMetrics
      * loopback flits never touch this counter). Pairs with
      * note_injected_flit() for the flit-conservation invariant.
      */
-    void
+    CATNAP_PHASE_READ void
     note_ejected_flit(SubnetId s)
     {
         (void)s;
@@ -87,8 +88,9 @@ class NetMetrics
     }
 
     /** A whole packet finished ejecting at its destination NI. */
-    void
-    note_ejected_packet(Cycle created, Cycle injected, Cycle now, int flits,
+    CATNAP_PHASE_READ void
+    note_ejected_packet(Cycle created, Cycle injected,
+                        Cycle now, int flits,
                         int hops)
     {
         ++ejected_packets_;
@@ -108,15 +110,15 @@ class NetMetrics
     // Fault path (src/fault) ----------------------------------------------
 
     /** A source NI re-offered a packet whose flits were purged. */
-    void note_retransmit() { ++retransmits_; }
+    CATNAP_PHASE_READ void note_retransmit() { ++retransmits_; }
 
     /** A packet was abandoned after exhausting its retransmissions. */
-    void note_dropped_packet() { ++dropped_packets_; }
+    CATNAP_PHASE_READ void note_dropped_packet() { ++dropped_packets_; }
 
     /** @p n in-network flits were purged by a hard fault. Balances the
      * flit-conservation identity: injected == in_flight + ejected +
      * dropped. */
-    void note_dropped_flits(std::size_t n)
+    CATNAP_PHASE_READ void note_dropped_flits(std::size_t n)
     {
         dropped_flits_ += static_cast<std::uint64_t>(n);
     }

@@ -85,7 +85,7 @@ class NetworkInterface
      * Packets with dst == src bypass the network through the NI loopback
      * path with a fixed small latency.
      */
-    void offer_packet(const PacketDesc &pkt);
+    CATNAP_PHASE_WRITE void offer_packet(const PacketDesc &pkt);
 
     /** Phase 1: queue refill, subnet selection, flit injection. */
     CATNAP_PHASE_READ void evaluate(Cycle now);
@@ -111,10 +111,10 @@ class NetworkInterface
      * were purged. The packet becomes eligible for retransmission after
      * the tuning's retransmit_delay.
      */
-    void note_packet_lost(PacketId id, Cycle now);
+    CATNAP_PHASE_WRITE void note_packet_lost(PacketId id, Cycle now);
 
     /** The destination saw packet @p id's tail eject; stop tracking. */
-    void ack_packet(PacketId id);
+    CATNAP_PHASE_WRITE void ack_packet(PacketId id);
 
     /** Packets this NI is tracking toward delivery (tests). */
     std::size_t outstanding_packets() const { return outstanding_.size(); }
@@ -204,12 +204,12 @@ class NetworkInterface
     {
       public:
         LocalAdapter(NetworkInterface *ni, SubnetId s) : ni_(ni), s_(s) {}
-        void
+        CATNAP_PHASE_READ void
         return_local_credit(VcId vc, Cycle ready) override
         {
             ni_->credit_events_.push_back({ready, s_, vc});
         }
-        void
+        CATNAP_PHASE_READ void
         eject_flit(const Flit &flit, Cycle ready) override
         {
             ni_->eject_events_.push_back({ready, s_, flit});

@@ -438,6 +438,11 @@ Router::can_sleep() const
 {
     if (failed_ || power_state_ != PowerState::kActive)
         return false;
+    // Seeded mutation (tools/model/ self-test): skip every occupancy
+    // and idle-detect condition, i.e. the bug class property P4 exists
+    // to catch. See set_model_unsafe_sleep_for_test().
+    if (unsafe_sleep_for_test_)
+        return true;
     if (idle_streak_ < params_.t_idle_detect)
         return false;
     if (!arrivals_.empty() || expected_packets_ > 0)
@@ -452,7 +457,8 @@ void
 Router::enter_sleep(Cycle now)
 {
     CATNAP_ASSERT(power_state_ == PowerState::kActive, "sleep from non-active");
-    CATNAP_ASSERT(buffers_empty(), "sleep with buffered flits");
+    CATNAP_ASSERT(buffers_empty() || unsafe_sleep_for_test_,
+                  "sleep with buffered flits");
     power_state_ = PowerState::kSleep;
     sleep_start_ = now;
     ++activity_.sleep_transitions;
@@ -772,6 +778,29 @@ void
 Router::corrupt_output_credit_for_test(Direction p, VcId vc, int delta)
 {
     out_credits_[fifo_index(port_index(p), vc)] += delta;
+}
+
+bool
+Router::vc_active(Direction p, VcId vc) const
+{
+    return vc_state_[fifo_index(port_index(p), vc)].active;
+}
+
+std::vector<int>
+Router::arrival_lag_histogram(Direction inport, Cycle now,
+                              int horizon) const
+{
+    std::vector<int> hist(static_cast<std::size_t>(horizon) + 1, 0);
+    for (const auto &a : arrivals_) {
+        if (a.inport != inport)
+            continue;
+        const Cycle lag = a.ready > now ? a.ready - now : 0;
+        const auto capped =
+            lag < static_cast<Cycle>(horizon) ? lag
+                                              : static_cast<Cycle>(horizon);
+        ++hist[static_cast<std::size_t>(capped)];
+    }
+    return hist;
 }
 
 } // namespace catnap

@@ -97,23 +97,25 @@ class Router
      * Hands over a flit that will be written into input port @p inport
      * at cycle @p ready. The caller must have checked can_accept_at().
      */
-    void deliver_flit(const Flit &flit, Direction inport, Cycle ready);
+    CATNAP_PHASE_READ void deliver_flit(const Flit &flit,
+                                        Direction inport, Cycle ready);
 
     /** Returns a credit for output port @p port, VC @p vc at @p ready. */
-    void deliver_credit(Direction port, VcId vc, Cycle ready);
+    CATNAP_PHASE_READ void deliver_credit(Direction port, VcId vc,
+                                          Cycle ready);
 
     /**
      * Look-ahead wake signal (Section 3.3): asks the gating policy to
      * wake this router in the current cycle's policy phase.
      */
-    void request_wakeup() { wake_requested_ = true; }
+    CATNAP_PHASE_READ void request_wakeup() { wake_requested_ = true; }
 
     /**
      * Announces that a packet head has been committed one hop upstream
      * (or entered the NI's injection slot) and will eventually arrive.
      * Routers with announced packets refuse to sleep.
      */
-    void note_expected_packet() { ++expected_packets_; }
+    CATNAP_PHASE_READ void note_expected_packet() { ++expected_packets_; }
 
     /** True if the router can receive a flit arriving at @p arrival. */
     bool can_accept_at(Cycle arrival) const;
@@ -128,10 +130,10 @@ class Router
     bool can_accept_port_at(Direction inport, Cycle arrival) const;
 
     /** Announces an inbound packet for @p inport (blocks its sleep). */
-    void note_expected_packet_at(Direction inport);
+    CATNAP_PHASE_READ void note_expected_packet_at(Direction inport);
 
     /** Look-ahead wake signal addressed to one input port. */
-    void request_port_wakeup(Direction inport);
+    CATNAP_PHASE_READ void request_port_wakeup(Direction inport);
 
     /** Power state of input port @p inport (Active when not gating). */
     PowerState port_power_state(Direction inport) const;
@@ -145,10 +147,10 @@ class Router
 
     /** True if a wake signal arrived for @p inport this cycle. */
     bool port_wake_requested(Direction inport) const;
-    void clear_port_wake_request(Direction inport);
+    CATNAP_PHASE_WRITE void clear_port_wake_request(Direction inport);
 
     /** Accounts one cycle of port power-state residency (all ports). */
-    void account_port_power_cycles();
+    CATNAP_PHASE_WRITE void account_port_power_cycles();
 
     // ------------------------------------------------------------------
     // Power FSM (driven by the gating policy in the policy phase)
@@ -164,7 +166,7 @@ class Router
     bool wake_requested() const { return wake_requested_; }
 
     /** Clears the wake-request flag (policy phase). */
-    void clear_wake_request() { wake_requested_ = false; }
+    CATNAP_PHASE_WRITE void clear_wake_request() { wake_requested_ = false; }
 
     /**
      * True when the router satisfies every structural condition for
@@ -184,7 +186,7 @@ class Router
     begin_wakeup(Cycle now, WakeReason reason = WakeReason::kLookahead);
 
     /** Accounts one cycle of residency in the current power state. */
-    void account_power_cycle();
+    CATNAP_PHASE_WRITE void account_power_cycle();
 
     // ------------------------------------------------------------------
     // Fault model (src/fault; DESIGN.md §10)
@@ -198,7 +200,7 @@ class Router
      * arm a wake that never completes (wake_done_ = kNoCycle), modelling
      * a wake sequence that hangs until the gating layer escalates.
      */
-    void set_wake_stuck(bool stuck) { wake_stuck_ = stuck; }
+    CATNAP_PHASE_WRITE void set_wake_stuck(bool stuck) { wake_stuck_ = stuck; }
     bool wake_stuck() const { return wake_stuck_; }
 
     /**
@@ -223,10 +225,10 @@ class Router
      * waking the router (call at the end of a measurement interval so
      * still-sleeping routers are credited for their sleep so far).
      */
-    void flush_sleep_accounting(Cycle now);
+    CATNAP_PHASE_WRITE void flush_sleep_accounting(Cycle now);
 
     /** Same, for the per-port sleep periods of fine-grained gating. */
-    void flush_port_sleep_accounting(Cycle now);
+    CATNAP_PHASE_WRITE void flush_port_sleep_accounting(Cycle now);
 
     // ------------------------------------------------------------------
     // Observability (congestion metrics, tests, power model)
@@ -298,6 +300,37 @@ class Router
      * credit-conservation invariant fires. Never call outside tests.
      */
     void corrupt_output_credit_for_test(Direction p, VcId vc, int delta);
+
+    // ------------------------------------------------------------------
+    // Model-checker accessors and hooks (tools/model/; DESIGN.md §11)
+    // ------------------------------------------------------------------
+
+    /** True if a packet currently holds VC @p vc of input port @p p. */
+    bool vc_active(Direction p, VcId vc) const;
+
+    /**
+     * Histogram of in-flight arrival readiness for input port
+     * @p inport relative to @p now: bucket d counts queued arrivals
+     * becoming visible at now + d, with everything at or beyond
+     * @p horizon clamped into the last bucket. The model checker folds
+     * this into its state vector so two states differing only in
+     * arrival timing never alias.
+     */
+    std::vector<int> arrival_lag_histogram(Direction inport, Cycle now,
+                                           int horizon) const;
+
+    /**
+     * Seeded-mutation hook (tools/model/ self-test ONLY): reintroduces
+     * the known-bad gating variant in which idle detection and buffer
+     * occupancy are ignored by can_sleep() and enter_sleep() skips its
+     * empty-buffer assertion. The model checker's mutation test proves
+     * property P4 (no sleep with occupied buffers) catches it with a
+     * minimal counterexample. Never set in simulation code.
+     */
+    void set_model_unsafe_sleep_for_test(bool on)
+    {
+        unsafe_sleep_for_test_ = on;
+    }
 
   private:
     /** Per-input-VC packet-in-progress state. */
@@ -393,6 +426,7 @@ class Router
     int idle_streak_ = 0;
     bool failed_ = false;
     bool wake_stuck_ = false;
+    bool unsafe_sleep_for_test_ = false; ///< seeded-mutation hook (§11)
 
     int total_buffered_ = 0;
 

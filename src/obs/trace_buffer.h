@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/event.h"
+#include "common/phase.h"
 
 namespace catnap {
 
@@ -26,7 +27,7 @@ class EventTrace final : public EventSink
     /** Creates a recorder retaining at most @p capacity events. */
     explicit EventTrace(std::size_t capacity = kDefaultCapacity);
 
-    void on_event(const TraceEvent &ev) override;
+    CATNAP_PHASE_READ void on_event(const TraceEvent &ev) override;
 
     /** Events currently retained (<= capacity). */
     std::size_t size() const { return size_; }
@@ -58,7 +59,7 @@ class EventTrace final : public EventSink
     }
 
     /** Discards all retained events and resets the counters. */
-    void clear();
+    CATNAP_PHASE_READ void clear();
 
     /** Default ring capacity (~32 MiB of events). */
     static constexpr std::size_t kDefaultCapacity = 1u << 20;

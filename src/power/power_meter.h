@@ -16,6 +16,7 @@
 
 #include "power/activity.h"
 #include "power/energy_model.h"
+#include "common/phase.h"
 
 namespace catnap {
 
@@ -43,7 +44,7 @@ class PowerMeter
      * Open sleep periods are folded into the CSC counters first so the
      * snapshot marks a clean boundary.
      */
-    void begin();
+    CATNAP_PHASE_WRITE void begin();
 
     /**
      * Computes power over the interval since begin(). Static power per

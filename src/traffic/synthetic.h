@@ -16,6 +16,7 @@
 #include "common/types.h"
 #include "noc/flit.h"
 #include "traffic/pattern.h"
+#include "common/phase.h"
 
 namespace catnap {
 
@@ -87,7 +88,7 @@ class SyntheticTraffic
     void set_recorder(TraceRecorder *recorder) { recorder_ = recorder; }
 
     /** Generates this cycle's packets and offers them to the NIs. */
-    void step(Cycle now);
+    CATNAP_PHASE_WRITE void step(Cycle now);
 
     /** Packets generated so far. */
     std::uint64_t generated() const { return generated_; }

@@ -28,6 +28,7 @@
 
 #include "common/types.h"
 #include "noc/flit.h"
+#include "common/phase.h"
 
 namespace catnap {
 
@@ -55,7 +56,7 @@ class TraceRecorder
 {
   public:
     /** Records one packet. Packets must be noted in cycle order. */
-    void note(Cycle cycle, const PacketDesc &pkt);
+    CATNAP_PHASE_READ void note(Cycle cycle, const PacketDesc &pkt);
 
     /** Serializes the trace (header comment + one line per packet). */
     void write(std::ostream &os) const;
@@ -111,7 +112,7 @@ class TraceTraffic
                  double time_scale = 1.0);
 
     /** Offers every packet scheduled for cycle @p now. */
-    void step(Cycle now);
+    CATNAP_PHASE_WRITE void step(Cycle now);
 
     /** True when every record has been offered. */
     bool done() const { return next_ >= trace_->records().size(); }

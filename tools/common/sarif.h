@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Minimal deterministic SARIF 2.1.0 writer shared by the repo's static
+ * tools (tools/lint/catnap_lint and tools/model/catnap_model).
+ *
+ * Emits exactly the subset GitHub code scanning consumes: one run with
+ * tool.driver.{name,version,rules[]} and results[] carrying ruleId,
+ * level, message.text and one physicalLocation each. Output depends
+ * only on the inputs (rules and results are written in the order
+ * given), so golden-file tests can diff it byte-for-byte.
+ */
+#ifndef CATNAP_TOOLS_COMMON_SARIF_H
+#define CATNAP_TOOLS_COMMON_SARIF_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace catnap_tools {
+
+/** One reporting rule descriptor (tool.driver.rules[] entry). */
+struct SarifRule
+{
+    std::string id;         ///< stable rule id, e.g. "L4" or "P3"
+    std::string name;       ///< CamelCase short name
+    std::string short_desc; ///< one-line description
+};
+
+/** One result (finding / property violation). */
+struct SarifResult
+{
+    std::string rule_id; ///< must match a SarifRule::id
+    std::string level;   ///< "error", "warning", or "note"
+    std::string message; ///< human-readable message text
+    std::string uri;     ///< repo-relative artifact path, '/'-separated
+    int line = 1;        ///< 1-based start line
+};
+
+/** Escapes @p s for embedding in a JSON string literal. */
+inline std::string
+sarif_json_escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char *hex = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+                out += hex[static_cast<unsigned char>(c) & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Normalises @p path into a SARIF artifact URI: forward slashes and no
+ * leading "./" segments. */
+inline std::string
+sarif_uri(std::string path)
+{
+    for (char &c : path)
+        if (c == '\\')
+            c = '/';
+    while (path.rfind("./", 0) == 0)
+        path.erase(0, 2);
+    return path;
+}
+
+/**
+ * Writes one complete SARIF 2.1.0 log to @p os.
+ *
+ * @param tool_name driver name shown by code-scanning UIs
+ * @param tool_version driver semanticVersion
+ * @param rules every rule the tool can report (in emission order)
+ * @param results the findings (in emission order; may be empty)
+ */
+inline void
+write_sarif(std::ostream &os, const std::string &tool_name,
+            const std::string &tool_version,
+            const std::vector<SarifRule> &rules,
+            const std::vector<SarifResult> &results)
+{
+    os << "{\n";
+    os << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+          "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n";
+    os << "  \"version\": \"2.1.0\",\n";
+    os << "  \"runs\": [\n";
+    os << "    {\n";
+    os << "      \"tool\": {\n";
+    os << "        \"driver\": {\n";
+    os << "          \"name\": \"" << sarif_json_escape(tool_name)
+       << "\",\n";
+    os << "          \"semanticVersion\": \""
+       << sarif_json_escape(tool_version) << "\",\n";
+    os << "          \"informationUri\": "
+          "\"https://github.com/catnap-sim/catnap\",\n";
+    os << "          \"rules\": [\n";
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        const SarifRule &r = rules[i];
+        os << "            {\n";
+        os << "              \"id\": \"" << sarif_json_escape(r.id)
+           << "\",\n";
+        os << "              \"name\": \"" << sarif_json_escape(r.name)
+           << "\",\n";
+        os << "              \"shortDescription\": { \"text\": \""
+           << sarif_json_escape(r.short_desc) << "\" }\n";
+        os << "            }" << (i + 1 < rules.size() ? "," : "")
+           << "\n";
+    }
+    os << "          ]\n";
+    os << "        }\n";
+    os << "      },\n";
+    os << "      \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SarifResult &r = results[i];
+        os << "        {\n";
+        os << "          \"ruleId\": \"" << sarif_json_escape(r.rule_id)
+           << "\",\n";
+        os << "          \"level\": \"" << sarif_json_escape(r.level)
+           << "\",\n";
+        os << "          \"message\": { \"text\": \""
+           << sarif_json_escape(r.message) << "\" },\n";
+        os << "          \"locations\": [\n";
+        os << "            {\n";
+        os << "              \"physicalLocation\": {\n";
+        os << "                \"artifactLocation\": { \"uri\": \""
+           << sarif_json_escape(sarif_uri(r.uri)) << "\" },\n";
+        os << "                \"region\": { \"startLine\": "
+           << (r.line > 0 ? r.line : 1) << " }\n";
+        os << "              }\n";
+        os << "            }\n";
+        os << "          ]\n";
+        os << "        }" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n";
+    os << "    }\n";
+    os << "  ]\n";
+    os << "}\n";
+}
+
+} // namespace catnap_tools
+
+#endif // CATNAP_TOOLS_COMMON_SARIF_H

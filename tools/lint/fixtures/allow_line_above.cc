@@ -1,0 +1,26 @@
+// Lint fixture: the line-above suppression form. A standalone
+// `// catnap-lint: allow(...)` comment suppresses findings on the next
+// line, so a flagged expression need not fit a trailing comment on the
+// same line. This file must lint clean.
+#include <ctime>
+
+namespace fixture {
+
+// Wall-clock call, legitimately wanted here (host-side tooling), and
+// the expression is long enough that a trailing allow would overflow
+// the line — so the allow sits on its own line above.
+long
+host_wall_clock_for_log_banner()
+{
+    // catnap-lint: allow(L1)
+    return static_cast<long>(time(nullptr));
+}
+
+// Trailing form still works too.
+long
+host_wall_clock_inline()
+{
+    return static_cast<long>(time(nullptr)); // catnap-lint: allow(L1)
+}
+
+} // namespace fixture

@@ -1,0 +1,32 @@
+// Lint fixture: seeded L4 (interprocedural two-phase) violation. Never
+// compiled; consumed by `catnap_lint --expect L4`. The direct
+// READ->WRITE case is L2's job; L4 must catch the laundered version
+// where an unannotated helper sits between the phases.
+#include "common/phase.h"
+
+namespace fixture {
+
+using Cycle = unsigned long long;
+
+class LaunderedRouter
+{
+  public:
+    // Violation (reported at the relay() call below): sample() is
+    // read-phase, relay() carries no annotation, and relay() calls the
+    // write-phase bump() — so sample() mutates committed state during
+    // the evaluate sweep after all.
+    CATNAP_PHASE_READ void sample(Cycle now)
+    {
+        if (now > 0)
+            relay(now);
+    }
+
+    CATNAP_PHASE_WRITE void bump(Cycle now) { last_ = now; }
+
+  private:
+    void relay(Cycle now) { bump(now); }
+
+    Cycle last_ = 0;
+};
+
+} // namespace fixture

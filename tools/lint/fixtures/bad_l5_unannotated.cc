@@ -1,0 +1,28 @@
+// Lint fixture: seeded L5 (phase coverage) violation. Never compiled;
+// consumed by `catnap_lint --expect L5`. An unannotated member
+// function that writes member state and is reachable from the tick
+// path (here: an annotated evaluate) is a hole in the two-phase audit.
+#include "common/phase.h"
+
+namespace fixture {
+
+using Cycle = unsigned long long;
+
+class LeakyStage
+{
+  public:
+    CATNAP_PHASE_READ void evaluate(Cycle now)
+    {
+        if (now > 0)
+            note(now);
+    }
+
+  private:
+    // Violation: writes seen_ on the tick path without a phase
+    // annotation, so L2/L4 cannot classify calls to it.
+    void note(Cycle now) { seen_ = now; }
+
+    Cycle seen_ = 0;
+};
+
+} // namespace fixture

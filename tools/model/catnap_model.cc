@@ -1,0 +1,247 @@
+/**
+ * @file
+ * catnap_model -- bounded explicit-state model checker for the Catnap
+ * gating/congestion/fault protocol (DESIGN.md §11).
+ *
+ * Explores every interleaving of environment events (packet announce,
+ * lost/stuck wakes, RCS glitches, subnet death, plain ticks) over a
+ * 2-subnet 2x2-mesh instance of the production Router /
+ * CongestionState / CatnapGatingPolicy classes, and proves six
+ * protocol properties (P1-P6, see tools/model/checker.h) on every
+ * reachable state. Exit codes:
+ *   0  fixpoint reached, all properties hold (or the violation named
+ *      by --expect-violation was found)
+ *   1  property violated (or an expected violation was not found)
+ *   2  usage error
+ *   4  state/depth cap hit before the fixpoint, no violation found
+ */
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/sarif.h"
+#include "model/checker.h"
+
+namespace {
+
+using catnap_model::CheckerOptions;
+using catnap_model::CheckResult;
+
+struct Cli
+{
+    CheckerOptions opts;
+    std::string expect_violation; ///< e.g. "P4"; empty = expect clean
+    std::string sarif_path;
+    std::string trace_path;
+    bool quiet = false;
+};
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: catnap_model [options]\n"
+          "  --max-states N        state cap (default 400000)\n"
+          "  --max-depth N         environment events per path "
+          "(default 48)\n"
+          "  --probe-bound N       P1/P6 drain probe length "
+          "(default 48)\n"
+          "  --fault-budget N      faults per explored trace "
+          "(default 1)\n"
+          "  --mutate sleep-occupied\n"
+          "                        seed the sleep-with-occupied-buffer "
+          "bug (P4 self-test)\n"
+          "  --expect-violation P  exit 0 iff property P is violated\n"
+          "  --sarif PATH          write results as SARIF 2.1.0\n"
+          "  --trace-out PATH      save counterexample Perfetto trace\n"
+          "  --quiet               suppress the counterexample replay\n";
+}
+
+/** Representative source anchor for each property's SARIF result. */
+void
+property_anchor(const std::string &prop, std::string *uri, int *line)
+{
+    if (prop == "P1") {
+        *uri = "src/noc/router.cc";
+        *line = 153; // run_switch_allocation: forwarding progress
+    } else if (prop == "P2") {
+        *uri = "src/catnap/gating.cc";
+        *line = 52; // service_wake_retries: retry/escalation scan
+    } else if (prop == "P3") {
+        *uri = "src/catnap/gating.cc";
+        *line = 170; // CatnapGatingPolicy::step: never-sleep duty
+    } else if (prop == "P4") {
+        *uri = "src/noc/router.cc";
+        *line = 437; // Router::can_sleep: occupancy conditions
+    } else if (prop == "P5") {
+        *uri = "src/noc/router.cc";
+        *line = 471; // Router::begin_wakeup: CSC crediting
+    } else {
+        *uri = "src/fault/fault.cc";
+        *line = 1; // escalation path
+    }
+}
+
+void
+write_model_sarif(const std::string &path, const CheckResult &result)
+{
+    const std::vector<catnap_tools::SarifRule> rules = {
+        {"P1", "NoDeadlock",
+         "every reachable state drains to quiescence"},
+        {"P2", "WakeLatencyBound",
+         "pending wakes resolve within the retry budget"},
+        {"P3", "NeverSleepSubnet",
+         "the promoted subnet never sleeps"},
+        {"P4", "NoSleepOccupied",
+         "no router sleeps with occupied buffers"},
+        {"P5", "SleepAccounting",
+         "sleep residency credits exactly max(0, period - t_breakeven)"},
+        {"P6", "FaultDrains",
+         "every fault state drains or escalates to failed"},
+    };
+    std::vector<catnap_tools::SarifResult> results;
+    for (const auto &v : result.violations) {
+        catnap_tools::SarifResult r;
+        r.rule_id = v.property;
+        r.level = "error";
+        r.message = v.property + " violated: " + v.message + " (" +
+                    std::to_string(v.trace.size()) +
+                    "-step counterexample)";
+        property_anchor(v.property, &r.uri, &r.line);
+        results.push_back(r);
+    }
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "catnap_model: cannot write " << path << "\n";
+        std::exit(2);
+    }
+    catnap_tools::write_sarif(os, "catnap_model", "2.0.0", rules,
+                              results);
+}
+
+bool
+parse_int(const std::string &s, long long *out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    const long long v = std::strtoll(s.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0)
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli;
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        const auto need_value = [&](const char *flag) -> std::string {
+            if (i + 1 >= args.size()) {
+                std::cerr << "catnap_model: " << flag
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return args[++i];
+        };
+        long long v = 0;
+        if (a == "--max-states") {
+            if (!parse_int(need_value("--max-states"), &v))
+                std::exit(2);
+            cli.opts.max_states = static_cast<std::size_t>(v);
+        } else if (a == "--max-depth") {
+            if (!parse_int(need_value("--max-depth"), &v))
+                std::exit(2);
+            cli.opts.max_depth = static_cast<int>(v);
+        } else if (a == "--probe-bound") {
+            if (!parse_int(need_value("--probe-bound"), &v))
+                std::exit(2);
+            cli.opts.probe_bound = static_cast<int>(v);
+        } else if (a == "--fault-budget") {
+            if (!parse_int(need_value("--fault-budget"), &v))
+                std::exit(2);
+            cli.opts.config.fault_budget = static_cast<int>(v);
+        } else if (a == "--mutate") {
+            const std::string m = need_value("--mutate");
+            if (m != "sleep-occupied") {
+                std::cerr << "catnap_model: unknown mutation '" << m
+                          << "'\n";
+                return 2;
+            }
+            cli.opts.config.mutate_unsafe_sleep = true;
+        } else if (a == "--expect-violation") {
+            cli.expect_violation = need_value("--expect-violation");
+        } else if (a == "--sarif") {
+            cli.sarif_path = need_value("--sarif");
+        } else if (a == "--trace-out") {
+            cli.trace_path = need_value("--trace-out");
+        } else if (a == "--quiet") {
+            cli.quiet = true;
+        } else if (a == "--help" || a == "-h") {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << "catnap_model: unknown option '" << a << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    const CheckResult result = catnap_model::run_checker(cli.opts);
+
+    std::cout << "catnap_model: explored " << result.states
+              << " reachable states, " << result.transitions
+              << " transitions, max depth " << result.max_depth_seen
+              << (result.fixpoint
+                      ? " -- fixpoint reached\n"
+                      : (result.capped ? " -- CAPPED before fixpoint\n"
+                                       : "\n"));
+    if (!cli.sarif_path.empty())
+        write_model_sarif(cli.sarif_path, result);
+
+    if (result.violations.empty()) {
+        if (!cli.expect_violation.empty()) {
+            std::cerr << "catnap_model: expected a violation of "
+                      << cli.expect_violation
+                      << " but every property held\n";
+            return 1;
+        }
+        if (result.capped) {
+            std::cerr << "catnap_model: exploration capped; raise "
+                         "--max-states/--max-depth for a proof\n";
+            return 4;
+        }
+        std::cout << "properties P1 (no deadlock), P2 (wake latency "
+                     "bound), P3 (never-sleep subnet), P4 (no sleep "
+                     "with occupied buffers), P5 (sleep accounting), "
+                     "P6 (fault drain): all hold\n";
+        return 0;
+    }
+
+    const auto &v = result.violations.front();
+    std::cout << "VIOLATION " << v.property << ": " << v.message << "\n";
+    if (!cli.quiet)
+        catnap_model::replay_counterexample(cli.opts, v, std::cout,
+                                            cli.trace_path);
+    else if (!cli.trace_path.empty())
+        catnap_model::replay_counterexample(cli.opts, v, std::cout,
+                                            cli.trace_path);
+
+    if (!cli.expect_violation.empty()) {
+        if (v.property == cli.expect_violation) {
+            std::cout << "catnap_model: found the expected "
+                      << cli.expect_violation << " violation\n";
+            return 0;
+        }
+        std::cerr << "catnap_model: expected " << cli.expect_violation
+                  << " but found " << v.property << "\n";
+        return 1;
+    }
+    return 1;
+}

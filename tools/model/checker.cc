@@ -1,0 +1,334 @@
+#include "model/checker.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/trace_buffer.h"
+
+namespace catnap_model {
+
+using catnap::Cycle;
+using catnap::NodeId;
+using catnap::PowerState;
+using catnap::Router;
+using catnap::SubnetId;
+
+namespace {
+
+/** "No such state" sentinel for the dedup index lookups. */
+constexpr std::int32_t kNoState = -1;
+
+/** FNV-1a over the state vector (index key; exact vectors verify). */
+std::uint64_t
+fnv1a(const std::vector<std::uint8_t> &v)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const std::uint8_t b : v) {
+        h ^= b;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Immediate (per-state) safety properties P2-P5. Returns true and
+ * fills @p prop / @p msg on the first violation found. */
+bool
+check_state_properties(const ModelWorld &world, std::string *prop,
+                       std::string *msg)
+{
+    // P5: shadow accounting flagged a wrong CSC credit.
+    if (world.accounting_error()) {
+        *prop = "P5";
+        *msg = world.accounting_error_detail();
+        return true;
+    }
+
+    // P3: the promoted subnet must never have a sleeping healthy router.
+    const SubnetId promoted = world.promoted_subnet();
+    if (promoted != catnap::kNoSubnet) {
+        for (NodeId n = 0; n < ModelWorld::kNodes; ++n) {
+            const Router &r = world.router(promoted, n);
+            if (!r.failed() && r.power_state() == PowerState::kSleep) {
+                *prop = "P3";
+                *msg = "router (s" + std::to_string(promoted) + ",n" +
+                       std::to_string(n) +
+                       ") of the promoted never-sleep subnet is asleep";
+                return true;
+            }
+        }
+    }
+
+    // P4: sleep only with empty buffers and no in-flight arrivals.
+    for (SubnetId s = 0; s < ModelWorld::kSubnets; ++s) {
+        for (NodeId n = 0; n < ModelWorld::kNodes; ++n) {
+            const Router &r = world.router(s, n);
+            if (r.failed() || r.power_state() != PowerState::kSleep)
+                continue;
+            if (r.total_occupancy() > 0 || r.pending_arrivals() > 0) {
+                *prop = "P4";
+                *msg = "router (s" + std::to_string(s) + ",n" +
+                       std::to_string(n) + ") sleeps with " +
+                       std::to_string(r.total_occupancy()) +
+                       " buffered and " +
+                       std::to_string(
+                           static_cast<int>(r.pending_arrivals())) +
+                       " in-flight flits";
+                return true;
+            }
+        }
+    }
+
+    // P2: a pending wake resolves (Active or escalated) within the
+    // retry machinery's worst-case latency.
+    const Cycle bound =
+        wake_latency_bound(world.tuning(), world.params());
+    for (SubnetId s = 0; s < ModelWorld::kSubnets; ++s) {
+        for (NodeId n = 0; n < ModelWorld::kNodes; ++n) {
+            const auto &st = world.retry_state(s, n);
+            if (st.pending_since == catnap::kNoCycle ||
+                world.router(s, n).failed()) {
+                continue;
+            }
+            const Cycle age = world.now() > st.pending_since
+                                  ? world.now() - st.pending_since
+                                  : 0;
+            if (age > bound) {
+                *prop = "P2";
+                *msg = "wake of router (s" + std::to_string(s) + ",n" +
+                       std::to_string(n) + ") pending for " +
+                       std::to_string(age) +
+                       " cycles (bound " + std::to_string(bound) + ")";
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+Cycle
+wake_latency_bound(const catnap::FaultTuning &t,
+                   const catnap::SubnetParams &p)
+{
+    // Worst case: the wake is lost, noticed after t_wake_timeout,
+    // re-asserted max_wake_retries times with capped exponential
+    // backoff, then either completes (t_wakeup) or escalates; +3 covers
+    // the policy-phase granularity of each step.
+    Cycle bound = t.t_wake_timeout;
+    for (int i = 1; i <= t.max_wake_retries; ++i) {
+        bound += t.t_wake_timeout
+                 << std::min(i, t.backoff_cap_exp);
+    }
+    return bound + static_cast<Cycle>(p.t_wakeup) + 3;
+}
+
+CheckResult
+run_checker(const CheckerOptions &opts)
+{
+    CheckResult result;
+
+    // Per-state storage. Parent/event chains reconstruct the path; the
+    // enabled-event list is computed once, when the state is reached.
+    std::vector<std::vector<std::uint8_t>> vectors;
+    std::vector<std::int32_t> parent;
+    std::vector<ModelEvent> via;
+    std::vector<std::int32_t> depth;
+    std::vector<std::vector<ModelEvent>> enabled;
+    std::map<std::uint64_t, std::vector<std::int32_t>> index;
+    std::deque<std::int32_t> queue;
+
+    const auto path_to = [&](std::int32_t id) {
+        std::vector<ModelEvent> path;
+        for (std::int32_t cur = id; cur > 0;
+             cur = parent[static_cast<std::size_t>(cur)]) {
+            path.push_back(via[static_cast<std::size_t>(cur)]);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+    };
+
+    const auto replay = [&](const std::vector<ModelEvent> &path) {
+        auto world = std::make_unique<ModelWorld>(opts.config);
+        for (const ModelEvent &ev : path)
+            world->apply_event(ev);
+        return world;
+    };
+
+    // Registers a state (assumed new), returning its id.
+    const auto add_state = [&](std::vector<std::uint8_t> sv,
+                               std::int32_t par, const ModelEvent &ev,
+                               std::int32_t d,
+                               std::vector<ModelEvent> evs) {
+        const auto id = static_cast<std::int32_t>(vectors.size());
+        index[fnv1a(sv)].push_back(id);
+        vectors.push_back(std::move(sv));
+        parent.push_back(par);
+        via.push_back(ev);
+        depth.push_back(d);
+        enabled.push_back(std::move(evs));
+        queue.push_back(id);
+        if (d > result.max_depth_seen)
+            result.max_depth_seen = d;
+        return id;
+    };
+
+    const auto find_state =
+        [&](const std::vector<std::uint8_t> &sv) -> std::int32_t {
+        const auto it = index.find(fnv1a(sv));
+        if (it == index.end())
+            return kNoState;
+        for (const std::int32_t id : it->second) {
+            if (vectors[static_cast<std::size_t>(id)] == sv)
+                return id;
+        }
+        return kNoState;
+    };
+
+    // P1/P6 closure probe: ticks @p world (destructively) until it
+    // resolves; reports a violation if it does not. Also keeps watching
+    // the safety properties, so trouble past max_depth still surfaces.
+    const auto closure_probe = [&](ModelWorld *world,
+                                   std::vector<ModelEvent> path) -> bool {
+        std::string prop, msg;
+        for (int k = 0; k < opts.probe_bound; ++k) {
+            if (world->quiescent())
+                return false;
+            world->tick();
+            path.push_back(ModelEvent{});
+            if (check_state_properties(*world, &prop, &msg)) {
+                result.violations.push_back({prop, msg, path});
+                return true;
+            }
+        }
+        if (world->quiescent())
+            return false;
+        if (world->flits_in_network() > 0) {
+            result.violations.push_back(
+                {"P1",
+                 "network fails to drain: " +
+                     std::to_string(world->flits_in_network()) +
+                     " flits still buffered/in flight after " +
+                     std::to_string(opts.probe_bound) +
+                     " stimulus-free cycles",
+                 path});
+        } else {
+            result.violations.push_back(
+                {"P6",
+                 "fault state neither drains nor escalates within " +
+                     std::to_string(opts.probe_bound) +
+                     " stimulus-free cycles",
+                 path});
+        }
+        return true;
+    };
+
+    // Root state.
+    {
+        ModelWorld root(opts.config);
+        std::string prop, msg;
+        if (check_state_properties(root, &prop, &msg)) {
+            result.violations.push_back({prop, msg, {}});
+            return result;
+        }
+        auto evs = root.enabled_events();
+        add_state(root.state_vector(), -1, ModelEvent{}, 0,
+                  std::move(evs));
+        if (closure_probe(&root, {}))
+            return result;
+    }
+
+    while (!queue.empty()) {
+        const std::int32_t id = queue.front();
+        queue.pop_front();
+        const auto idx = static_cast<std::size_t>(id);
+        if (depth[idx] >= opts.max_depth) {
+            result.capped = true;
+            continue;
+        }
+        const std::vector<ModelEvent> base_path = path_to(id);
+        for (const ModelEvent &ev : enabled[idx]) {
+            auto world = replay(base_path);
+            world->apply_event(ev);
+            ++result.transitions;
+
+            std::vector<ModelEvent> path = base_path;
+            path.push_back(ev);
+            std::string prop, msg;
+            if (check_state_properties(*world, &prop, &msg)) {
+                result.violations.push_back(
+                    {prop, msg, std::move(path)});
+                result.states = vectors.size();
+                return result;
+            }
+            std::vector<std::uint8_t> sv = world->state_vector();
+            if (find_state(sv) >= 0)
+                continue;
+            if (vectors.size() >= opts.max_states) {
+                result.capped = true;
+                result.states = vectors.size();
+                return result;
+            }
+            auto evs = world->enabled_events();
+            add_state(std::move(sv), id, ev, depth[idx] + 1,
+                      std::move(evs));
+            if (closure_probe(world.get(), std::move(path))) {
+                result.states = vectors.size();
+                return result;
+            }
+        }
+    }
+
+    result.states = vectors.size();
+    result.fixpoint = !result.capped;
+    return result;
+}
+
+void
+replay_counterexample(const CheckerOptions &opts,
+                      const PropertyViolation &v, std::ostream &os,
+                      const std::string &trace_path)
+{
+    catnap::EventTrace trace(1u << 16);
+    ModelWorld world(opts.config);
+    world.set_sink(&trace);
+
+    os << "counterexample (" << v.trace.size()
+       << " environment steps, one cycle each):\n";
+    Cycle cycle = 0;
+    for (const ModelEvent &ev : v.trace) {
+        if (ev.kind != EventKindM::kTick)
+            os << "  cycle " << cycle << ": " << model_event_name(ev)
+               << "\n";
+        world.apply_event(ev);
+        ++cycle;
+    }
+    os << "violated " << v.property << ": " << v.message << "\n";
+    os << "replayed micro-architectural trace (" << trace.size()
+       << " events):\n";
+    trace.for_each([&](const catnap::TraceEvent &te) {
+        os << "  [" << te.cycle << "] "
+           << catnap::event_kind_name(te.kind) << " node=" << te.node
+           << " subnet=" << te.subnet << " a=" << te.a << " b=" << te.b;
+        if (te.pkt != 0)
+            os << " pkt=" << te.pkt;
+        os << "\n";
+    });
+
+    if (!trace_path.empty()) {
+        catnap::TraceExportMeta meta;
+        meta.num_subnets = ModelWorld::kSubnets;
+        meta.num_nodes = ModelWorld::kNodes;
+        meta.num_regions = 1;
+        meta.end_cycle = world.now();
+        catnap::save_chrome_trace(trace_path, trace, meta);
+        os << "perfetto trace written to " << trace_path << "\n";
+    }
+}
+
+} // namespace catnap_model

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Bounded explicit-state reachability checker over ModelWorld
+ * (DESIGN.md §11).
+ *
+ * Breadth-first search over environment-event interleavings. Routers
+ * are not copyable (reference members, neighbour wiring), so a state is
+ * materialised by re-executing its event path from the initial world;
+ * the abstract state vector (ModelWorld::state_vector) is the exact
+ * deduplication key, indexed by FNV-1a hash with full-vector
+ * verification on collision. BFS order makes the first counterexample
+ * found a minimal one (fewest environment steps).
+ *
+ * Properties checked on every reached state:
+ *   P1  no deadlock: every state drains to quiescence under ticks
+ *   P2  a pending wake becomes Active (or escalates) within the retry
+ *       budget's worst-case latency bound
+ *   P3  no healthy router of the promoted (never-sleep) subnet sleeps
+ *   P4  no router sleeps with occupied buffers or in-flight arrivals
+ *   P5  every sleep period credits exactly max(0, period - t_breakeven)
+ *       compensated sleep cycles on wake
+ *   P6  every fault state drains or escalates to subnet failure
+ * P1/P6 are closure properties, checked by a bounded tick-only probe
+ * from each newly discovered state; the rest are state properties.
+ */
+#ifndef CATNAP_TOOLS_MODEL_CHECKER_H
+#define CATNAP_TOOLS_MODEL_CHECKER_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "model/model_world.h"
+
+namespace catnap_model {
+
+/** Search configuration. */
+struct CheckerOptions
+{
+    ModelConfig config;
+
+    /** Abort the search (result.capped) past this many stored states. */
+    std::size_t max_states = 400000;
+
+    /** Environment events per explored path. */
+    int max_depth = 48;
+
+    /** Tick-only probe length for the P1/P6 closure check. */
+    int probe_bound = 48;
+};
+
+/** One property violation with its minimal environment-event trace. */
+struct PropertyViolation
+{
+    std::string property; ///< "P1" .. "P6"
+    std::string message;
+    std::vector<ModelEvent> trace; ///< event path from the initial state
+};
+
+/** Search outcome. */
+struct CheckResult
+{
+    bool fixpoint = false; ///< reachable set fully explored
+    bool capped = false;   ///< max_states or max_depth truncated it
+    std::size_t states = 0;
+    std::size_t transitions = 0;
+    int max_depth_seen = 0;
+    std::vector<PropertyViolation> violations; ///< empty, or the first
+};
+
+/** Worst-case wake-pending-to-resolution latency the retry machinery
+ * guarantees under @p t (bound for property P2). */
+catnap::Cycle wake_latency_bound(const catnap::FaultTuning &t,
+                                 const catnap::SubnetParams &p);
+
+/** Runs the search. Stops at the first violation. */
+CheckResult run_checker(const CheckerOptions &opts);
+
+/**
+ * Re-executes @p v's event trace on a fresh world with an EventTrace
+ * recorder attached to every component, prints the environment events
+ * and the recorded micro-architectural trace to @p os, and (when
+ * @p trace_path is non-empty) saves the Chrome/Perfetto trace there.
+ */
+void replay_counterexample(const CheckerOptions &opts,
+                           const PropertyViolation &v, std::ostream &os,
+                           const std::string &trace_path);
+
+} // namespace catnap_model
+
+#endif // CATNAP_TOOLS_MODEL_CHECKER_H

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * The bounded model checker's world: a hand-wired 2-subnet, 2x2-mesh
+ * instance of the *production* router, congestion, gating, and health
+ * classes (DESIGN.md §11).
+ *
+ * Nothing here re-implements protocol logic. ModelWorld owns real
+ * catnap::Router objects connected into a real ConcentratedMesh, drives
+ * them through the real evaluate/commit/policy phasing, feeds them
+ * through the real CongestionState and CatnapGatingPolicy, and plugs
+ * into GatingPolicy's fault seam as a WakeFaultModel whose faults are
+ * chosen by the checker (deterministically, one environment event per
+ * explored step) instead of by a seeded RNG.
+ *
+ * Routers hold reference members and neighbour pointers, so they cannot
+ * be snapshotted; the checker re-executes the environment-event path
+ * from the initial state instead (checker.h). What CAN be captured is
+ * an abstract state vector — every behaviourally relevant bit of the
+ * world with absolute cycle counts replaced by bounded relative timers —
+ * which doubles as the exact deduplication key of the search.
+ */
+#ifndef CATNAP_TOOLS_MODEL_MODEL_WORLD_H
+#define CATNAP_TOOLS_MODEL_MODEL_WORLD_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catnap/congestion.h"
+#include "catnap/gating.h"
+#include "fault/health.h"
+#include "fault/wake_fault.h"
+#include "noc/params.h"
+#include "noc/router.h"
+#include "obs/event.h"
+#include "topology/topology.h"
+#include "common/phase.h"
+
+namespace catnap_model {
+
+/** Checker-visible knobs of the explored configuration. */
+struct ModelConfig
+{
+    /** Independent fault events the environment may inject per trace. */
+    int fault_budget = 1;
+
+    /** Re-introduces the sleep-with-occupied-buffer bug (seeded
+     * mutation; Router::set_model_unsafe_sleep_for_test). */
+    bool mutate_unsafe_sleep = false;
+};
+
+/** One environment (adversary) event the checker can schedule. */
+enum class EventKindM : std::uint8_t {
+    kTick = 0,       ///< let one cycle pass with no new stimulus
+    kAnnounce = 1,   ///< a source NI binds a packet to a subnet slot
+    kLoseWake = 2,   ///< arm loss of the next look-ahead wake of (s, n)
+    kStickWake = 3,  ///< wake sequence of (s, n) hangs until escalation
+    kRcsGlitch = 4,  ///< transient OR-tree glitch on (region 0, s)
+    kKillSubnet = 5, ///< hard fault takes subnet s out of service
+};
+
+/** A concrete environment event (kind plus operands). */
+struct ModelEvent
+{
+    EventKindM kind = EventKindM::kTick;
+    std::int32_t a = 0; ///< slot index / subnet
+    std::int32_t b = 0; ///< node (kLoseWake / kStickWake)
+};
+
+/** Human-readable rendering, e.g. "lose-wake(s1,n2)". */
+std::string model_event_name(const ModelEvent &ev);
+
+/**
+ * The explored world. Construct, apply a sequence of events with
+ * apply_event() (each advances exactly one cycle), and interrogate the
+ * result. Worlds are cheap enough to rebuild per replay.
+ */
+class ModelWorld final : public catnap::WakeFaultModel,
+                         public catnap::LocalPortClient
+{
+  public:
+    static constexpr int kWidth = 2;
+    static constexpr int kHeight = 2;
+    static constexpr int kNodes = kWidth * kHeight;
+    static constexpr int kSubnets = 2;
+    static constexpr int kSlotsPerSubnet = 2;
+    static constexpr int kNumSlots = kSubnets * kSlotsPerSubnet;
+
+    /** Traffic slot: one single-flit packet bouncing between fixed
+     * endpoints; the checker decides when it is (re-)offered. */
+    enum class SlotPhase : std::uint8_t {
+        kIdle = 0,    ///< nothing queued
+        kWaiting = 1, ///< announced, waiting for injection credit
+        kInNet = 2,   ///< flit somewhere between source and sink
+    };
+
+    explicit ModelWorld(const ModelConfig &cfg);
+
+    /** Applies @p ev, then runs one full cycle (inject, evaluate,
+     * commit, congestion update, policy step) and advances time. */
+    CATNAP_PHASE_WRITE void apply_event(const ModelEvent &ev);
+
+    /** Runs one stimulus-free cycle (the P1/P6 closure probe). */
+    void tick() { apply_event(ModelEvent{}); }
+
+    /** True when @p ev is applicable in the current state (guards). */
+    bool event_enabled(const ModelEvent &ev) const;
+
+    /** Every event applicable now, in a fixed deterministic order. */
+    std::vector<ModelEvent> enabled_events() const;
+
+    /**
+     * The abstract state vector: all behaviourally relevant state with
+     * absolute cycles replaced by bounded relative timers. Equal
+     * vectors are behaviourally equivalent states (exact dedup key).
+     */
+    std::vector<std::uint8_t> state_vector() const;
+
+    /** Attaches @p sink to every component (counterexample replay). */
+    void set_sink(catnap::EventSink *sink);
+
+    // -- property-check inputs ------------------------------------------
+
+    /** Current cycle (cycles fully executed so far). */
+    catnap::Cycle now() const { return now_; }
+
+    const catnap::HealthMask &health_mask() const { return monitor_.mask(); }
+    catnap::SubnetId promoted_subnet() const
+    {
+        return monitor_.never_sleep_subnet();
+    }
+    const catnap::Router &router(catnap::SubnetId s, catnap::NodeId n) const
+    {
+        return *routers_[static_cast<std::size_t>(s)]
+                        [static_cast<std::size_t>(n)];
+    }
+    const catnap::GatingPolicy::WakeRetryState &
+    retry_state(catnap::SubnetId s, catnap::NodeId n) const
+    {
+        return policy_->retry_state(s, n);
+    }
+    SlotPhase slot_phase(int slot) const
+    {
+        return slots_[static_cast<std::size_t>(slot)].phase;
+    }
+    int fault_budget() const { return budget_; }
+
+    /** Sticky: a Sleep->Wakeup transition credited the wrong number of
+     * compensated sleep cycles (property P5, shadow-checked here). */
+    bool accounting_error() const { return accounting_error_; }
+    const std::string &accounting_error_detail() const
+    {
+        return accounting_detail_;
+    }
+
+    /**
+     * True when the network has drained: every healthy router is
+     * quiescent (no buffered, in-flight, or announced flits; not mid
+     * wake-up) and every slot of a healthy subnet is idle. Dead subnets
+     * are resolved by construction (fail() purged them).
+     */
+    bool quiescent() const;
+
+    /** Flits buffered or in flight anywhere (deadlock evidence). */
+    int flits_in_network() const;
+
+    /** Structural parameters (bounds for property P2). */
+    const catnap::SubnetParams &params() const { return params_; }
+    const catnap::FaultTuning &tuning() const override { return tuning_; }
+
+    // -- WakeFaultModel (the gating layer calls back into the world) ----
+
+    bool intercept_wake(catnap::Router *router, catnap::Cycle now) override;
+    void escalate_wake_failure(catnap::Router *router,
+                               catnap::Cycle now) override;
+    void note_wake_retry(const catnap::Router &router, int retry,
+                         catnap::Cycle backoff, catnap::Cycle now) override;
+    const catnap::HealthMask &health() const override
+    {
+        return monitor_.mask();
+    }
+    catnap::SubnetId never_sleep_subnet() const override
+    {
+        return monitor_.never_sleep_subnet();
+    }
+
+    // -- LocalPortClient (shared by every router's local port) ----------
+
+    CATNAP_PHASE_READ void return_local_credit(catnap::VcId vc,
+                                                catnap::Cycle ready) override;
+    CATNAP_PHASE_READ void eject_flit(const catnap::Flit &flit,
+                                       catnap::Cycle ready) override;
+
+  private:
+    struct Slot
+    {
+        catnap::SubnetId subnet = 0;
+        catnap::NodeId src = 0;
+        catnap::NodeId dst = 0;
+        SlotPhase phase = SlotPhase::kIdle;
+    };
+
+    void inject_waiting_slots();
+    CATNAP_PHASE_WRITE void fail_subnet(catnap::SubnetId s,
+                                        catnap::NodeId root,
+                     catnap::Cycle now);
+    static std::uint8_t clamp8(catnap::Cycle v, catnap::Cycle cap);
+
+    ModelConfig cfg_;
+    catnap::ConcentratedMesh mesh_;
+    catnap::SubnetParams params_;
+    catnap::FaultTuning tuning_;
+    catnap::CongestionState congestion_;
+    std::unique_ptr<catnap::CatnapGatingPolicy> policy_;
+    catnap::HealthMonitor monitor_;
+    std::array<std::array<std::unique_ptr<catnap::Router>, kNodes>,
+               kSubnets>
+        routers_;
+    std::array<Slot, kNumSlots> slots_;
+    std::array<std::array<bool, kNodes>, kSubnets> lose_armed_{};
+    int budget_ = 0;
+    catnap::Cycle now_ = 0;
+    catnap::EventSink *sink_ = nullptr;
+
+    // Shadow sleep-accounting state for property P5.
+    std::array<std::array<catnap::PowerState, kNodes>, kSubnets>
+        prev_state_{};
+    std::array<std::array<catnap::Cycle, kNodes>, kSubnets>
+        shadow_sleep_start_{};
+    std::array<std::array<std::int64_t, kNodes>, kSubnets> prev_csc_{};
+    bool accounting_error_ = false;
+    std::string accounting_detail_;
+};
+
+} // namespace catnap_model
+
+#endif // CATNAP_TOOLS_MODEL_MODEL_WORLD_H
