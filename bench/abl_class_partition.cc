@@ -16,9 +16,23 @@
 
 using namespace catnap;
 
-int
-main()
+namespace {
+
+/** Per-point metrics of one mix x config closed-loop run. */
+struct PartitionPoint
 {
+    double ipc = 0.0;
+    double power = 0.0;
+    double csc = 0.0;
+    double shares[4] = {0, 0, 0, 0};
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::parse_options(argc, argv);
     bench::header("Ablation: class-partitioned subnets (CCNoC [29]) vs "
                   "Catnap");
 
@@ -26,7 +40,7 @@ main()
     ap.warmup = 2000;
     ap.measure = 8000;
 
-    const std::vector<std::pair<const char *, MultiNocConfig>> configs = {
+    const std::vector<bench::NamedConfig> configs = {
         {"4NT class-partitioned",
          multi_noc_config(4, GatingKind::kIdle,
                           SelectorKind::kClassPartition)},
@@ -36,36 +50,48 @@ main()
         {"4NT Catnap", multi_noc_config(4, GatingKind::kCatnap,
                                         SelectorKind::kCatnap)},
     };
+    const std::vector<WorkloadMix> mixes = {medium_light_mix(),
+                                            heavy_mix()};
 
-    for (const auto &mix : {medium_light_mix(), heavy_mix()}) {
-        std::printf("\n-- %s --\n", mix.name.c_str());
-        std::printf("%-30s %8s %10s %8s %28s\n", "design", "IPC",
-                    "power(W)", "CSC(%)", "subnet flit shares");
-        for (const auto &c : configs) {
-            MultiNocConfig cfg = c.second;
-            CmpSystem sys(cfg, mix);
+    // Each point builds its own CmpSystem; fan them out, mix-major.
+    SweepRunner runner(bench::exec_options(opts));
+    const auto flat = runner.map<PartitionPoint>(
+        mixes.size() * configs.size(), [&](std::size_t i) {
+            const MultiNocConfig cfg = configs[i % configs.size()].second;
+            CmpSystem sys(cfg, mixes[i / configs.size()]);
             sys.run(ap.warmup);
             PowerMeter meter(sys.net(), 0.625);
             meter.begin();
             const auto r0 = sys.total_retired();
             sys.run(ap.measure);
             sys.net().finalize_accounting();
-            const double ipc =
-                static_cast<double>(sys.total_retired() - r0) /
-                static_cast<double>(ap.measure) / 256.0;
-            double shares[4];
+            PartitionPoint p;
+            p.ipc = static_cast<double>(sys.total_retired() - r0) /
+                    static_cast<double>(ap.measure) / 256.0;
+            p.power = meter.report().total();
+            p.csc = meter.csc_percent();
             double total = 0;
             for (SubnetId s = 0; s < 4; ++s) {
-                shares[s] = static_cast<double>(
+                p.shares[s] = static_cast<double>(
                     sys.net().metrics().injected_flits_in_subnet(s));
-                total += shares[s];
+                total += p.shares[s];
             }
+            for (SubnetId s = 0; s < 4; ++s)
+                p.shares[s] /= total;
+            return p;
+        });
+
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        std::printf("\n-- %s --\n", mixes[m].name.c_str());
+        std::printf("%-30s %8s %10s %8s %28s\n", "design", "IPC",
+                    "power(W)", "CSC(%)", "subnet flit shares");
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            const auto &p = flat[m * configs.size() + c];
             std::printf("%-30s %8.3f %10.1f %8.1f    "
                         "%.2f/%.2f/%.2f/%.2f\n",
-                        c.first, ipc, meter.report().total(),
-                        meter.csc_percent(), shares[0] / total,
-                        shares[1] / total, shares[2] / total,
-                        shares[3] / total);
+                        configs[c].first, p.ipc, p.power, p.csc,
+                        p.shares[0], p.shares[1], p.shares[2],
+                        p.shares[3]);
         }
     }
     std::printf("\nClass partitioning leaves the data subnet saturated "

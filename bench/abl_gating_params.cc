@@ -15,34 +15,47 @@
 using namespace catnap;
 
 int
-main()
+main(int argc, char **argv)
 {
-    RunParams rp = bench::sweep_params();
+    const bench::BenchOptions opts = bench::parse_options(argc, argv);
+    const RunParams rp = bench::sweep_params();
     SyntheticConfig traffic;
     traffic.load = 0.05;
+
+    // Ablations A and B are independent points; one batch covers both.
+    const std::vector<int> wakeups = {3, 6, 10, 20, 40};
+    const std::vector<int> breakevens = {0, 6, 12, 24, 48};
+    std::vector<RunItem> items;
+    for (int t_wakeup : wakeups) {
+        MultiNocConfig cfg = multi_noc_config(4, GatingKind::kCatnap);
+        cfg.t_wakeup = t_wakeup;
+        items.push_back(RunItem{cfg, traffic, rp});
+    }
+    for (int t_be : breakevens) {
+        MultiNocConfig cfg = multi_noc_config(4, GatingKind::kCatnap);
+        cfg.t_breakeven = t_be;
+        items.push_back(RunItem{cfg, traffic, rp});
+    }
+    const auto res = run_batch(items, bench::exec_options(opts));
 
     bench::header("Ablation A: wake-up delay T_wakeup (4NT-128b-PG)");
     std::printf("%-10s %12s %12s %10s\n", "T_wakeup", "latency",
                 "CSC (%)", "power(W)");
-    for (int t_wakeup : {3, 6, 10, 20, 40}) {
-        MultiNocConfig cfg = multi_noc_config(4, GatingKind::kCatnap);
-        cfg.t_wakeup = t_wakeup;
-        const auto r = run_synthetic(cfg, traffic, rp);
-        std::printf("%-10d %12.1f %12.1f %10.1f%s\n", t_wakeup,
+    for (std::size_t i = 0; i < wakeups.size(); ++i) {
+        const auto &r = res[i];
+        std::printf("%-10d %12.1f %12.1f %10.1f%s\n", wakeups[i],
                     r.avg_latency, r.csc_percent, r.power.total(),
-                    t_wakeup == 10 ? "   <== paper (SPICE)" : "");
+                    wakeups[i] == 10 ? "   <== paper (SPICE)" : "");
     }
 
     bench::header("Ablation B: break-even cycles T_breakeven");
     std::printf("%-12s %12s %10s\n", "T_breakeven", "CSC (%)",
                 "power(W)");
-    for (int t_be : {0, 6, 12, 24, 48}) {
-        MultiNocConfig cfg = multi_noc_config(4, GatingKind::kCatnap);
-        cfg.t_breakeven = t_be;
-        const auto r = run_synthetic(cfg, traffic, rp);
-        std::printf("%-12d %12.1f %10.1f%s\n", t_be, r.csc_percent,
-                    r.power.total(),
-                    t_be == 12 ? "   <== paper (SPICE)" : "");
+    for (std::size_t i = 0; i < breakevens.size(); ++i) {
+        const auto &r = res[wakeups.size() + i];
+        std::printf("%-12d %12.1f %10.1f%s\n", breakevens[i],
+                    r.csc_percent, r.power.total(),
+                    breakevens[i] == 12 ? "   <== paper (SPICE)" : "");
     }
 
     bench::header("Ablation C: idle-detect window T_idle_detect");

@@ -15,11 +15,12 @@
 using namespace catnap;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parse_options(argc, argv);
     bench::header("Ablation: RCS region size (4NT-128b-PG, transpose)");
 
-    RunParams rp = bench::sweep_params();
+    const RunParams rp = bench::sweep_params();
 
     struct Variant
     {
@@ -34,19 +35,24 @@ main()
         {"8x8 region (global)", 8, true},
     };
 
-    std::printf("%-22s %9s %9s %9s %9s\n", "detector", "lat@0.05",
-                "lat@0.15", "csc@0.05", "P@0.05");
+    std::vector<MultiNocConfig> configs;
     for (const auto &v : variants) {
         MultiNocConfig cfg = multi_noc_config(4, GatingKind::kCatnap);
         cfg.region_width = v.region_width;
         cfg.congestion.use_rcs = v.use_rcs;
-        SyntheticConfig traffic;
-        traffic.pattern = PatternKind::kTranspose;
-        traffic.load = 0.05;
-        const auto lo = run_synthetic(cfg, traffic, rp);
-        traffic.load = 0.15;
-        const auto hi = run_synthetic(cfg, traffic, rp);
-        std::printf("%-22s %9.1f %9.1f %9.1f %9.1f\n", v.name,
+        configs.push_back(cfg);
+    }
+    SyntheticConfig traffic;
+    traffic.pattern = PatternKind::kTranspose;
+    const auto res =
+        bench::run_load_grid(configs, {0.05, 0.15}, traffic, rp, opts);
+
+    std::printf("%-22s %9s %9s %9s %9s\n", "detector", "lat@0.05",
+                "lat@0.15", "csc@0.05", "P@0.05");
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        const auto &lo = res[c][0];
+        const auto &hi = res[c][1];
+        std::printf("%-22s %9.1f %9.1f %9.1f %9.1f\n", variants[c].name,
                     lo.avg_latency, hi.avg_latency, lo.csc_percent,
                     lo.power.total());
     }

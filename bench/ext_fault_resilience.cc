@@ -33,8 +33,9 @@ struct KillSite {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parse_options(argc, argv);
     bench::header("Extension: fault resilience, staggered router kills "
                   "(8x8, 4NT-128b-PG, uniform 0.10)");
 
@@ -51,10 +52,7 @@ main()
     rp.measure = 20000;
     rp.drain_max = 30000;
 
-    std::printf("%-6s | %8s %8s %8s %8s | %8s %8s %9s\n", "kills",
-                "lat", "p99", "power", "csc%", "retrans", "dropped",
-                "delivered");
-    double lat_k0 = 0.0, lat_k3 = 0.0;
+    std::vector<RunItem> items;
     for (int k = 0; k <= 3; ++k) {
         MultiNocConfig cfg = multi_noc_config(4, GatingKind::kCatnap);
         for (int j = 0; j < k; ++j)
@@ -66,7 +64,16 @@ main()
 
         SyntheticConfig traffic;
         traffic.load = 0.10;
-        const SyntheticResult r = run_synthetic(cfg, traffic, rp);
+        items.push_back(RunItem{cfg, traffic, rp});
+    }
+    const auto res = run_batch(items, bench::exec_options(opts));
+
+    std::printf("%-6s | %8s %8s %8s %8s | %8s %8s %9s\n", "kills",
+                "lat", "p99", "power", "csc%", "retrans", "dropped",
+                "delivered");
+    double lat_k0 = 0.0, lat_k3 = 0.0;
+    for (int k = 0; k <= 3; ++k) {
+        const SyntheticResult &r = res[static_cast<std::size_t>(k)];
         const double delivered =
             r.offered_rate > 0.0
                 ? 100.0 * r.accepted_rate / r.offered_rate

@@ -13,18 +13,23 @@
 using namespace catnap;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parse_options(argc, argv);
     bench::header("Extension: per-port gating (1NT-512b-PPG) vs "
                   "router-idle PG vs Catnap");
 
     const RunParams rp = bench::sweep_params();
 
-    const std::vector<std::pair<const char *, MultiNocConfig>> configs = {
+    const std::vector<bench::NamedConfig> configs = {
         {"1NT-512b-PG", single_noc_config(512, GatingKind::kIdle)},
         {"1NT-512b-PPG", single_noc_config(512, GatingKind::kFinePort)},
         {"4NT-128b-PG", multi_noc_config(4, GatingKind::kCatnap)},
     };
+
+    const std::vector<double> loads = {0.01, 0.03, 0.05, 0.10, 0.20};
+    const auto res = bench::run_load_grid(configs, loads,
+                                          SyntheticConfig{}, rp, opts);
 
     std::printf("%-8s", "load");
     for (const auto &c : configs)
@@ -32,18 +37,16 @@ main()
     std::printf("\n");
 
     double p_idle = 0, p_fine = 0, p_catnap = 0;
-    for (double load : {0.01, 0.03, 0.05, 0.10, 0.20}) {
-        std::printf("%-8.2f", load);
-        for (const auto &c : configs) {
-            SyntheticConfig traffic;
-            traffic.load = load;
-            const auto r = run_synthetic(c.second, traffic, rp);
+    for (std::size_t l = 0; l < loads.size(); ++l) {
+        std::printf("%-8.2f", loads[l]);
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            const auto &r = res[c][l];
             std::printf(" | %12s  %7.1f %7.1f", "", r.power.total(),
                         r.avg_latency);
-            if (load == 0.03) {
-                if (c.second.gating == GatingKind::kIdle)
+            if (loads[l] == 0.03) {
+                if (configs[c].second.gating == GatingKind::kIdle)
                     p_idle = r.power.total();
-                else if (c.second.gating == GatingKind::kFinePort)
+                else if (configs[c].second.gating == GatingKind::kFinePort)
                     p_fine = r.power.total();
                 else
                     p_catnap = r.power.total();
@@ -51,6 +54,7 @@ main()
         }
         std::printf("\n");
     }
+    bench::maybe_save_csv(opts, res);
 
     bench::paper_note("PPG saving over router-idle PG @0.03 (W)",
                       p_idle - p_fine, 5.0);

@@ -15,26 +15,35 @@
 using namespace catnap;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parse_options(argc, argv);
     bench::header("Figure 2: per-core bandwidth need (normalized perf)");
 
     AppRunParams ap;
     ap.warmup = 2000;
     ap.measure = 10000;
 
+    // Four independent closed-loop runs: {Light, Heavy} x {128b, 512b}.
+    const std::vector<WorkloadMix> mixes = {light_mix(), heavy_mix()};
+    SweepRunner runner(bench::exec_options(opts));
+    const auto res = runner.map<AppRunResult>(
+        mixes.size() * 2, [&](std::size_t i) {
+            const int width = i % 2 == 0 ? 128 : 512;
+            return run_app_workload(single_noc_config(width),
+                                    mixes[i / 2], ap);
+        });
+
     std::printf("%-14s %18s %18s %12s\n", "workload", "128b-Single-NoC",
                 "512b-Single-NoC", "128b/512b");
     double heavy_ratio = 0.0, light_ratio = 0.0;
-    for (const auto &mix : {light_mix(), heavy_mix()}) {
-        const auto r128 =
-            run_app_workload(single_noc_config(128), mix, ap);
-        const auto r512 =
-            run_app_workload(single_noc_config(512), mix, ap);
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        const auto &r128 = res[m * 2];
+        const auto &r512 = res[m * 2 + 1];
         const double ratio = r128.ipc / r512.ipc;
-        std::printf("%-14s %18.3f %18.3f %12.3f\n", mix.name.c_str(),
-                    ratio, 1.0, ratio);
-        if (mix.name == "Heavy")
+        std::printf("%-14s %18.3f %18.3f %12.3f\n",
+                    mixes[m].name.c_str(), ratio, 1.0, ratio);
+        if (mixes[m].name == "Heavy")
             heavy_ratio = ratio;
         else
             light_ratio = ratio;

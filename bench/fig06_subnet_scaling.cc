@@ -16,12 +16,13 @@
 using namespace catnap;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parse_options(argc, argv);
     bench::header("Figure 6a: saturation throughput vs subnet count");
 
     const RunParams rp = bench::sweep_params();
-    SyntheticConfig traffic; // uniform random, 512-bit packets
+    const SyntheticConfig traffic; // uniform random, 512-bit packets
 
     std::vector<MultiNocConfig> cfgs;
     for (int subnets : {1, 2, 4, 8}) {
@@ -29,17 +30,23 @@ main()
                                         SelectorKind::kRoundRobin));
     }
 
+    // One batch covers both sub-figures: the saturation point (0.45,
+    // beyond saturation for every design) plus the load grid.
+    std::vector<double> loads = {0.45};
+    const auto grid_loads = bench::load_grid();
+    loads.insert(loads.end(), grid_loads.begin(), grid_loads.end());
+    const auto res = bench::run_load_grid(cfgs, loads, traffic, rp, opts);
+
     std::printf("%-10s %26s\n", "design",
                 "saturation throughput (pkts/node/cycle)");
     double thr1 = 0.0, thr4 = 0.0;
-    for (const auto &cfg : cfgs) {
-        traffic.load = 0.45; // beyond saturation for every design
-        const auto r = run_synthetic(cfg, traffic, rp);
-        std::printf("%-10s %26.3f\n", cfg.label().c_str(),
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+        const auto &r = res[c][0];
+        std::printf("%-10s %26.3f\n", cfgs[c].label().c_str(),
                     r.accepted_rate);
-        if (cfg.num_subnets == 1)
+        if (cfgs[c].num_subnets == 1)
             thr1 = r.accepted_rate;
-        if (cfg.num_subnets == 4)
+        if (cfgs[c].num_subnets == 4)
             thr4 = r.accepted_rate;
     }
     bench::paper_note("4NT/1NT saturation throughput ratio", thr4 / thr1,
@@ -50,14 +57,12 @@ main()
     for (const auto &cfg : cfgs)
         std::printf(" %10s", cfg.label().c_str());
     std::printf("\n");
-    for (double load : bench::load_grid()) {
-        std::printf("%-8.2f", load);
-        for (const auto &cfg : cfgs) {
-            traffic.load = load;
-            const auto r = run_synthetic(cfg, traffic, rp);
-            std::printf(" %10.1f", r.avg_latency);
-        }
+    for (std::size_t l = 0; l < grid_loads.size(); ++l) {
+        std::printf("%-8.2f", grid_loads[l]);
+        for (std::size_t c = 0; c < cfgs.size(); ++c)
+            std::printf(" %10.1f", res[c][l + 1].avg_latency);
         std::printf("\n");
     }
+    bench::maybe_save_csv(opts, res);
     return 0;
 }

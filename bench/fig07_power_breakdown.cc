@@ -17,8 +17,11 @@
 using namespace catnap;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Analytic (no simulation runs); accepts the shared CLI so
+    // reproduce.sh can pass --jobs uniformly.
+    bench::parse_options(argc, argv);
     bench::header("Figure 7: network power by component, load factor 0.5");
 
     struct Bar

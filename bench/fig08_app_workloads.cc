@@ -42,8 +42,9 @@ figure8_configs()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parse_options(argc, argv);
     bench::header("Figure 8: app workloads -- network power and "
                   "normalized performance");
 
@@ -53,6 +54,14 @@ main()
 
     const auto configs = figure8_configs();
     const auto mixes = table3_mixes();
+
+    // All mix x config runs are independent; fan them out, mix-major.
+    SweepRunner runner(bench::exec_options(opts));
+    const auto flat = runner.map<AppRunResult>(
+        mixes.size() * configs.size(), [&](std::size_t i) {
+            return run_app_workload(configs[i % configs.size()].cfg,
+                                    mixes[i / configs.size()], ap);
+        });
 
     // Power table (left plot).
     std::printf("\n-- Network power (W): static / dynamic / total --\n");
@@ -64,8 +73,8 @@ main()
     std::vector<std::vector<AppRunResult>> results(mixes.size());
     for (std::size_t m = 0; m < mixes.size(); ++m) {
         std::printf("%-14s", mixes[m].name.c_str());
-        for (const auto &c : configs) {
-            const auto r = run_app_workload(c.cfg, mixes[m], ap);
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            const auto &r = flat[m * configs.size() + c];
             results[m].push_back(r);
             std::printf("   %5.1f /%5.1f /%6.1f",
                         r.power_static.total(),

@@ -14,34 +14,42 @@
 using namespace catnap;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parse_options(argc, argv);
     bench::header("Figure 9: compensated sleep cycles (% of time)");
 
     AppRunParams ap;
     ap.warmup = 2000;
     ap.measure = 8000;
 
-    const std::vector<std::pair<const char *, MultiNocConfig>> configs = {
+    const std::vector<bench::NamedConfig> configs = {
         {"1NT-128b-PG", single_noc_config(128, GatingKind::kIdle)},
         {"1NT-512b-PG", single_noc_config(512, GatingKind::kIdle)},
         {"4NT-128b-PG", multi_noc_config(4, GatingKind::kCatnap)},
     };
+
+    const auto mixes = table3_mixes();
+    SweepRunner runner(bench::exec_options(opts));
+    const auto flat = runner.map<AppRunResult>(
+        mixes.size() * configs.size(), [&](std::size_t i) {
+            return run_app_workload(configs[i % configs.size()].second,
+                                    mixes[i / configs.size()], ap);
+        });
 
     std::printf("%-14s %14s %14s %14s\n", "workload", configs[0].first,
                 configs[1].first, configs[2].first);
 
     double light_catnap = 0.0;
     double avg_catnap = 0.0;
-    const auto mixes = table3_mixes();
     std::vector<double> avg(configs.size(), 0.0);
-    for (const auto &mix : mixes) {
-        std::printf("%-14s", mix.name.c_str());
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        std::printf("%-14s", mixes[m].name.c_str());
         for (std::size_t c = 0; c < configs.size(); ++c) {
-            const auto r = run_app_workload(configs[c].second, mix, ap);
+            const auto &r = flat[m * configs.size() + c];
             std::printf(" %14.1f", r.csc_percent);
             avg[c] += r.csc_percent / static_cast<double>(mixes.size());
-            if (c == 2 && mix.name == "Light")
+            if (c == 2 && mixes[m].name == "Light")
                 light_catnap = r.csc_percent;
         }
         std::printf("\n");

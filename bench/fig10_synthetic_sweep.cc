@@ -15,15 +15,16 @@
 using namespace catnap;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parse_options(argc, argv);
     bench::header("Figure 10: uniform random, power/CSC/throughput/latency"
                   " vs offered load");
 
     const RunParams rp = bench::sweep_params();
-    SyntheticConfig traffic;
+    const SyntheticConfig traffic;
 
-    const std::vector<std::pair<const char *, MultiNocConfig>> configs = {
+    const std::vector<bench::NamedConfig> configs = {
         {"1NT-512b", single_noc_config(512)},
         {"4NT-128b", multi_noc_config(4, GatingKind::kAlwaysOn,
                                       SelectorKind::kRoundRobin)},
@@ -31,40 +32,28 @@ main()
         {"4NT-128b-PG", multi_noc_config(4, GatingKind::kCatnap)},
     };
 
-    std::vector<double> loads = {0.01, 0.03, 0.05, 0.10, 0.15,
-                                 0.20, 0.25, 0.30, 0.40};
+    const std::vector<double> loads = {0.01, 0.03, 0.05, 0.10, 0.15,
+                                       0.20, 0.25, 0.30, 0.40};
 
-    // Collect everything once, print four sub-tables.
-    std::vector<std::vector<SyntheticResult>> res(configs.size());
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-        for (double load : loads) {
-            traffic.load = load;
-            res[c].push_back(run_synthetic(configs[c].second, traffic, rp));
-        }
-    }
+    // Collect everything once (all points in parallel), print four
+    // sub-tables.
+    const auto res = bench::run_load_grid(configs, loads, traffic, rp,
+                                          opts);
+    const auto names = bench::config_names(configs);
 
-    const char *sub[4] = {"(a) network power (W)",
-                          "(b) compensated sleep cycles (%)",
-                          "(c) accepted throughput (pkts/node/cycle)",
-                          "(d) avg packet latency (cycles)"};
-    for (int plot = 0; plot < 4; ++plot) {
-        std::printf("\n-- %s --\n%-8s", sub[plot], "load");
-        for (const auto &cfg : configs)
-            std::printf(" %12s", cfg.first);
-        std::printf("\n");
-        for (std::size_t l = 0; l < loads.size(); ++l) {
-            std::printf("%-8.2f", loads[l]);
-            for (std::size_t c = 0; c < configs.size(); ++c) {
-                const auto &r = res[c][l];
-                const double v = plot == 0   ? r.power.total()
-                                 : plot == 1 ? r.csc_percent
-                                 : plot == 2 ? r.accepted_rate
-                                             : r.avg_latency;
-                std::printf(" %12.2f", v);
-            }
-            std::printf("\n");
-        }
-    }
+    bench::print_metric_table(
+        "(a) network power (W)", names, loads, res,
+        [](const SyntheticResult &r) { return r.power.total(); });
+    bench::print_metric_table(
+        "(b) compensated sleep cycles (%)", names, loads, res,
+        [](const SyntheticResult &r) { return r.csc_percent; });
+    bench::print_metric_table(
+        "(c) accepted throughput (pkts/node/cycle)", names, loads, res,
+        [](const SyntheticResult &r) { return r.accepted_rate; });
+    bench::print_metric_table(
+        "(d) avg packet latency (cycles)", names, loads, res,
+        [](const SyntheticResult &r) { return r.avg_latency; });
+    bench::maybe_save_csv(opts, res);
 
     // Paper checks at load 0.03 (index 1).
     bench::paper_note("CSC @0.03, 4NT-128b-PG (%)", res[3][1].csc_percent,

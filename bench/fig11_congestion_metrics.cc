@@ -32,15 +32,16 @@ metric_config(CongestionMetric metric, bool use_rcs)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parse_options(argc, argv);
     bench::header("Figure 11: congestion metrics for subnet selection "
                   "and gating (4NT-128b-PG)");
 
     RunParams rp = bench::sweep_params();
     rp.measure = 4000;
 
-    const std::vector<std::pair<const char *, MultiNocConfig>> configs = {
+    const std::vector<bench::NamedConfig> configs = {
         {"RR", multi_noc_config(4, GatingKind::kIdle,
                                 SelectorKind::kRoundRobin)},
         {"BFA", metric_config(CongestionMetric::kBufferAvg, true)},
@@ -57,37 +58,36 @@ main()
                                     PatternKind::kTranspose,
                                     PatternKind::kBitComplement};
 
+    // One batch covers all three patterns; pattern-major grids.
+    std::vector<std::vector<std::vector<SyntheticResult>>> res;
     for (const PatternKind pattern : patterns) {
-        std::printf("\n-- avg packet latency (cycles), %s --\n%-8s",
-                    pattern_kind_name(pattern), "load");
-        for (const auto &c : configs)
-            std::printf(" %12s", c.first);
-        std::printf("\n");
-        for (double load : loads) {
-            std::printf("%-8.2f", load);
-            for (const auto &c : configs) {
-                SyntheticConfig traffic;
-                traffic.pattern = pattern;
-                traffic.load = load;
-                const auto r = run_synthetic(c.second, traffic, rp);
-                std::printf(" %12.1f", r.avg_latency);
-            }
-            std::printf("\n");
-        }
+        SyntheticConfig traffic;
+        traffic.pattern = pattern;
+        res.push_back(
+            bench::run_load_grid(configs, loads, traffic, rp, opts));
     }
 
-    // Rightmost subplot: CSC for RR (naive) vs BFM (best), uniform.
+    const auto names = bench::config_names(configs);
+    for (std::size_t p = 0; p < 3; ++p) {
+        bench::print_metric_table(
+            std::string("avg packet latency (cycles), ") +
+                pattern_kind_name(patterns[p]),
+            names, loads, res[p],
+            [](const SyntheticResult &r) { return r.avg_latency; }, 12,
+            1);
+    }
+
+    // Rightmost subplot: CSC for RR (naive) vs BFM (best), uniform --
+    // the points are already in the uniform-random grid (res[0]).
     std::printf("\n-- compensated sleep cycles (%%), uniform random --\n");
     std::printf("%-8s %12s %12s\n", "load", "RR", "BFM");
     double rr_csc_low = 0.0, bfm_csc_low = 0.0;
-    for (double load : {0.02, 0.05, 0.10, 0.15, 0.20}) {
-        SyntheticConfig traffic;
-        traffic.load = load;
-        const auto rr = run_synthetic(configs[0].second, traffic, rp);
-        const auto bfm = run_synthetic(configs[3].second, traffic, rp);
-        std::printf("%-8.2f %12.1f %12.1f\n", load, rr.csc_percent,
+    for (std::size_t l = 0; l < 5; ++l) {
+        const auto &rr = res[0][0][l];
+        const auto &bfm = res[0][3][l];
+        std::printf("%-8.2f %12.1f %12.1f\n", loads[l], rr.csc_percent,
                     bfm.csc_percent);
-        if (load == 0.02) {
+        if (loads[l] == 0.02) {
             rr_csc_low = rr.csc_percent;
             bfm_csc_low = bfm.csc_percent;
         }

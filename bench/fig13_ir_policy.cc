@@ -16,8 +16,9 @@
 using namespace catnap;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parse_options(argc, argv);
     bench::header("Figure 13: IR subnet-selection policy threshold sweep "
                   "(4NT-128b, no PG)");
 
@@ -29,26 +30,30 @@ main()
     const std::vector<double> loads = {0.05, 0.10, 0.15, 0.20, 0.25,
                                        0.30, 0.40, 0.50};
 
+    std::vector<MultiNocConfig> configs;
+    for (double t : thresholds) {
+        MultiNocConfig cfg = multi_noc_config(4, GatingKind::kAlwaysOn,
+                                              SelectorKind::kCatnap);
+        cfg.congestion.metric = CongestionMetric::kInjectionRate;
+        cfg.congestion.threshold = t;
+        configs.push_back(cfg);
+    }
+
     for (const PatternKind pattern :
          {PatternKind::kUniformRandom, PatternKind::kTranspose}) {
+        SyntheticConfig traffic;
+        traffic.pattern = pattern;
+        const auto res =
+            bench::run_load_grid(configs, loads, traffic, rp, opts);
         std::printf("\n-- avg packet latency (cycles), %s --\n%-8s",
                     pattern_kind_name(pattern), "load");
         for (double t : thresholds)
             std::printf("   IR-%4.2f", t);
         std::printf("\n");
-        for (double load : loads) {
-            std::printf("%-8.2f", load);
-            for (double t : thresholds) {
-                MultiNocConfig cfg = multi_noc_config(
-                    4, GatingKind::kAlwaysOn, SelectorKind::kCatnap);
-                cfg.congestion.metric = CongestionMetric::kInjectionRate;
-                cfg.congestion.threshold = t;
-                SyntheticConfig traffic;
-                traffic.pattern = pattern;
-                traffic.load = load;
-                const auto r = run_synthetic(cfg, traffic, rp);
-                std::printf(" %9.1f", r.avg_latency);
-            }
+        for (std::size_t l = 0; l < loads.size(); ++l) {
+            std::printf("%-8.2f", loads[l]);
+            for (std::size_t c = 0; c < configs.size(); ++c)
+                std::printf(" %9.1f", res[c][l].avg_latency);
             std::printf("\n");
         }
     }

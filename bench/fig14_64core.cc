@@ -30,36 +30,41 @@ small_mesh(MultiNocConfig cfg)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parse_options(argc, argv);
     bench::header("Figure 14: 64-core processor (4x4 cmesh, 256-bit "
                   "aggregate)");
 
     const RunParams rp = bench::sweep_params();
 
-    const std::vector<std::pair<const char *, MultiNocConfig>> configs = {
+    const std::vector<bench::NamedConfig> configs = {
         {"1NT-256b-PG",
          small_mesh(single_noc_config(256, GatingKind::kIdle))},
         {"2NT-128b-PG",
          small_mesh(multi_noc_config(2, GatingKind::kCatnap))},
     };
 
+    const std::vector<double> loads = {0.01, 0.03, 0.05, 0.10,
+                                       0.15, 0.20, 0.30};
+    const auto res = bench::run_load_grid(configs, loads,
+                                          SyntheticConfig{}, rp, opts);
+
     std::printf("%-8s %14s %14s %14s %14s\n", "load", "CSC 1NT (%)",
                 "CSC 2NT (%)", "lat 1NT (cy)", "lat 2NT (cy)");
     double csc1_low = 0.0, csc2_low = 0.0;
-    for (double load : {0.01, 0.03, 0.05, 0.10, 0.15, 0.20, 0.30}) {
-        SyntheticConfig traffic;
-        traffic.load = load;
-        const auto r1 = run_synthetic(configs[0].second, traffic, rp);
-        const auto r2 = run_synthetic(configs[1].second, traffic, rp);
-        std::printf("%-8.2f %14.1f %14.1f %14.1f %14.1f\n", load,
+    for (std::size_t l = 0; l < loads.size(); ++l) {
+        const auto &r1 = res[0][l];
+        const auto &r2 = res[1][l];
+        std::printf("%-8.2f %14.1f %14.1f %14.1f %14.1f\n", loads[l],
                     r1.csc_percent, r2.csc_percent, r1.avg_latency,
                     r2.avg_latency);
-        if (load == 0.03) {
+        if (loads[l] == 0.03) {
             csc1_low = r1.csc_percent;
             csc2_low = r2.csc_percent;
         }
     }
+    bench::maybe_save_csv(opts, res);
     bench::paper_note("CSC @0.03, 2NT-128b-PG (%)", csc2_low, 50.0);
     bench::paper_note("CSC @0.03, 1NT-256b-PG (%)", csc1_low, 17.0);
     return 0;

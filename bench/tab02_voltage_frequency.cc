@@ -12,8 +12,11 @@
 using namespace catnap;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Analytic (no simulation runs); accepts the shared CLI so
+    // reproduce.sh can pass --jobs uniformly.
+    bench::parse_options(argc, argv);
     bench::header("Table 2: router width vs frequency vs voltage");
 
     std::printf("%-12s %14s %16s %12s\n", "design", "width (bits)",

@@ -1,8 +1,27 @@
 #!/usr/bin/env bash
 # Reproduce every experiment: build, run the test suite, then regenerate
 # every table/figure/ablation/extension into results/.
+#
+# Usage: scripts/reproduce.sh [--jobs N]
+#   --jobs N   worker threads per bench harness (default: all cores).
+#              Results are bit-identical for every value (DESIGN.md §12);
+#              --jobs only changes wall-clock time.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --jobs)
+      JOBS="$2"
+      shift 2
+      ;;
+    *)
+      echo "usage: $0 [--jobs N]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 cmake -B build -G Ninja
 cmake --build build
@@ -12,11 +31,27 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" 2>&1 |
   tee results/test_output.txt
 
 {
+  total_start=$(date +%s)
   for b in build/bench/*; do
+    [ -x "$b" ] || continue
     echo "== $b =="
-    "$b"
+    start=$(date +%s%N)
+    case "$(basename "$b")" in
+      micro_simulator)
+        # Google-benchmark harness: times single runs; no --jobs.
+        "$b"
+        ;;
+      *)
+        "$b" --jobs "$JOBS"
+        ;;
+    esac
+    end=$(date +%s%N)
+    echo "[time] $(basename "$b"): $(((end - start) / 1000000)) ms"
     echo
   done
+  total_end=$(date +%s)
+  echo "[time] total bench wall-clock: $((total_end - total_start)) s" \
+       "(--jobs $JOBS)"
 } 2>&1 | tee results/bench_output.txt
 
 echo "Done. See results/test_output.txt and results/bench_output.txt."

@@ -1,0 +1,305 @@
+#include "exec/job.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "common/log.h"
+
+namespace catnap {
+
+namespace {
+
+/** Milliseconds on the host's monotonic clock. Host-side orchestration
+ * only — never feeds simulation state (see tools/lint host-clock
+ * exemption for src/exec/). */
+std::int64_t
+now_ms()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Watchdog poll period while any running job has a timeout budget. */
+constexpr std::int64_t kWatchdogPollMs = 2;
+
+} // namespace
+
+const char *
+job_state_name(JobState s)
+{
+    switch (s) {
+      case JobState::kPending:   return "pending";
+      case JobState::kRunning:   return "running";
+      case JobState::kDone:      return "done";
+      case JobState::kFailed:    return "failed";
+      case JobState::kTimedOut:  return "timed_out";
+      case JobState::kCancelled: return "cancelled";
+    }
+    return "?";
+}
+
+void
+RunReport::rethrow_if_error() const
+{
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+JobId
+JobGraph::add(std::function<void()> fn, const JobOptions &opts)
+{
+    CATNAP_ASSERT(fn != nullptr, "JobGraph::add of empty function");
+    std::lock_guard<std::mutex> lock(mutex_);
+    CATNAP_ASSERT(!started_, "JobGraph::add after run()");
+    JobNode node;
+    node.fn = std::move(fn);
+    node.opts = opts;
+    jobs_.push_back(std::move(node));
+    return static_cast<JobId>(jobs_.size() - 1);
+}
+
+void
+JobGraph::add_edge(JobId before, JobId after)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CATNAP_ASSERT(!started_, "JobGraph::add_edge after run()");
+    const auto n = static_cast<JobId>(jobs_.size());
+    if (before < 0 || before >= n || after < 0 || after >= n ||
+        before == after) {
+        throw std::invalid_argument("JobGraph::add_edge: bad edge " +
+                                    std::to_string(before) + " -> " +
+                                    std::to_string(after));
+    }
+    jobs_[static_cast<std::size_t>(before)].dependents.push_back(after);
+    ++jobs_[static_cast<std::size_t>(after)].unmet_deps;
+}
+
+void
+JobGraph::cancel()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cancelled_)
+        return;
+    cancelled_ = true;
+    for (JobNode &job : jobs_) {
+        if (job.state == JobState::kPending && !job.accounted) {
+            job.state = JobState::kCancelled;
+            job.accounted = true;
+            ++terminal_;
+        }
+    }
+    done_cv_.notify_all();
+}
+
+void
+JobGraph::submit_ready_locked(ThreadPool &pool, JobId id)
+{
+    // Queued closures re-check state under the lock, so a job cancelled
+    // while sitting in the pool queue degrades to a no-op.
+    ++in_flight_;
+    pool.submit([this, &pool, id] { execute(pool, id); });
+}
+
+void
+JobGraph::finish_locked(JobId id, JobState terminal,
+                        std::exception_ptr error)
+{
+    JobNode &job = jobs_[static_cast<std::size_t>(id)];
+    if (job.accounted)
+        return;
+    job.state = terminal;
+    job.error = std::move(error);
+    job.accounted = true;
+    ++terminal_;
+    done_cv_.notify_all();
+}
+
+void
+JobGraph::release_dependents_locked(ThreadPool &pool, JobId id)
+{
+    for (JobId dep : jobs_[static_cast<std::size_t>(id)].dependents) {
+        JobNode &next = jobs_[static_cast<std::size_t>(dep)];
+        if (--next.unmet_deps == 0 &&
+            next.state == JobState::kPending && !next.accounted) {
+            submit_ready_locked(pool, dep);
+        }
+    }
+}
+
+void
+JobGraph::cancel_dependents_locked(JobId id)
+{
+    for (JobId dep : jobs_[static_cast<std::size_t>(id)].dependents) {
+        JobNode &next = jobs_[static_cast<std::size_t>(dep)];
+        if (next.state == JobState::kPending && !next.accounted) {
+            next.state = JobState::kCancelled;
+            next.accounted = true;
+            ++terminal_;
+            cancel_dependents_locked(dep);
+        }
+    }
+    done_cv_.notify_all();
+}
+
+void
+JobGraph::check_timeouts_locked()
+{
+    const std::int64_t now = now_ms();
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        JobNode &job = jobs_[i];
+        if (job.state != JobState::kRunning || job.opts.timeout_ms <= 0)
+            continue;
+        if (now - job.started_ms <= job.opts.timeout_ms)
+            continue;
+        const auto id = static_cast<JobId>(i);
+        finish_locked(id, JobState::kTimedOut,
+                      std::make_exception_ptr(std::runtime_error(
+                          "exec job " + std::to_string(id) +
+                          " exceeded its " +
+                          std::to_string(job.opts.timeout_ms) +
+                          " ms budget")));
+        cancel_dependents_locked(id);
+    }
+}
+
+void
+JobGraph::execute(ThreadPool &pool, JobId id)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        JobNode &job = jobs_[static_cast<std::size_t>(id)];
+        if (job.state != JobState::kPending || job.accounted) {
+            // Cancelled (or timed out on a previous attempt) while
+            // queued: the terminal state is already accounted.
+            --in_flight_;
+            done_cv_.notify_all();
+            return;
+        }
+        job.state = JobState::kRunning;
+        ++job.attempts;
+        job.started_ms = now_ms();
+    }
+
+    std::exception_ptr error;
+    try {
+        jobs_[static_cast<std::size_t>(id)].fn();
+    } catch (...) {
+        error = std::current_exception();
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    JobNode &job = jobs_[static_cast<std::size_t>(id)];
+    --in_flight_;
+    if (job.state != JobState::kRunning) {
+        // The watchdog declared this job overdue while it was running:
+        // it is already accounted as kTimedOut and its result must be
+        // discarded, even if the late completion was successful.
+        done_cv_.notify_all();
+        return;
+    }
+    if (error && job.attempts <= job.opts.max_retries && !cancelled_) {
+        job.state = JobState::kPending;
+        submit_ready_locked(pool, id);
+        done_cv_.notify_all();
+        return;
+    }
+    if (error) {
+        finish_locked(id, JobState::kFailed, std::move(error));
+        cancel_dependents_locked(id);
+    } else {
+        finish_locked(id, JobState::kDone, nullptr);
+        release_dependents_locked(pool, id);
+    }
+}
+
+RunReport
+JobGraph::run(ThreadPool &pool)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    CATNAP_ASSERT(!started_, "JobGraph::run is single-use");
+    started_ = true;
+
+    // Cycle check (Kahn's algorithm on a scratch copy) before anything
+    // executes: a cyclic graph is a caller bug, reported loudly rather
+    // than deadlocking the pool.
+    {
+        std::vector<int> unmet(jobs_.size());
+        std::vector<JobId> ready;
+        for (std::size_t i = 0; i < jobs_.size(); ++i) {
+            unmet[i] = jobs_[i].unmet_deps;
+            if (unmet[i] == 0)
+                ready.push_back(static_cast<JobId>(i));
+        }
+        std::size_t seen = 0;
+        while (!ready.empty()) {
+            const JobId id = ready.back();
+            ready.pop_back();
+            ++seen;
+            for (JobId dep : jobs_[static_cast<std::size_t>(id)]
+                                 .dependents) {
+                if (--unmet[static_cast<std::size_t>(dep)] == 0)
+                    ready.push_back(dep);
+            }
+        }
+        if (seen != jobs_.size())
+            throw std::invalid_argument(
+                "JobGraph::run: dependency cycle among " +
+                std::to_string(jobs_.size() - seen) + " job(s)");
+    }
+
+    bool any_timeout = false;
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        if (jobs_[i].opts.timeout_ms > 0)
+            any_timeout = true;
+        if (jobs_[i].unmet_deps == 0 &&
+            jobs_[i].state == JobState::kPending && !jobs_[i].accounted)
+            submit_ready_locked(pool, static_cast<JobId>(i));
+    }
+
+    const auto quiescent = [this] {
+        return terminal_ == jobs_.size() && in_flight_ == 0;
+    };
+    while (!quiescent()) {
+        if (any_timeout) {
+            done_cv_.wait_for(
+                lock, std::chrono::milliseconds(kWatchdogPollMs));
+            check_timeouts_locked();
+        } else {
+            done_cv_.wait(lock);
+        }
+    }
+
+    RunReport report;
+    report.states.reserve(jobs_.size());
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        const JobNode &job = jobs_[i];
+        report.states.push_back(job.state);
+        report.retries += static_cast<std::uint64_t>(
+            job.attempts > 0 ? job.attempts - 1 : 0);
+        switch (job.state) {
+          case JobState::kDone:
+            ++report.done;
+            break;
+          case JobState::kFailed:
+          case JobState::kTimedOut:
+            ++report.failed;
+            if (report.first_failed < 0) {
+                report.first_failed = static_cast<JobId>(i);
+                report.first_error = job.error;
+            }
+            break;
+          case JobState::kCancelled:
+            ++report.cancelled;
+            break;
+          case JobState::kPending:
+          case JobState::kRunning:
+            CATNAP_PANIC("JobGraph::run quiescent with job ", i,
+                         " in state ", job_state_name(job.state));
+        }
+    }
+    return report;
+}
+
+} // namespace catnap

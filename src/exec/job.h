@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Job abstraction for the execution engine: a unit of host-side work
+ * with dependency edges, cancellation, per-job retry, and wall-clock
+ * timeout detection (DESIGN.md §12).
+ *
+ * A JobGraph is built once (add() + add_edge()), executed once on a
+ * ThreadPool, and reports per-job outcomes. Error handling follows the
+ * src/fault philosophy: failures are *contained and accounted*, never
+ * silently swallowed — a throwing job is retried up to its budget, its
+ * dependents are cancelled (not run on garbage), every terminal state is
+ * counted in the RunReport, and the first error *by submission order*
+ * (not completion order, which is scheduling-dependent) can be rethrown
+ * so batch callers fail deterministically.
+ *
+ * Timeouts are detection, not preemption: C++ threads cannot be killed,
+ * so an overdue job is marked kTimedOut and its dependents are cancelled
+ * while the runaway task runs to completion (its effects are discarded
+ * by the caller via the report). run() always joins all of its work
+ * before returning — no job closure outlives the graph.
+ */
+#ifndef CATNAP_EXEC_JOB_H
+#define CATNAP_EXEC_JOB_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace catnap {
+
+/** Index of a job within its JobGraph. */
+using JobId = std::int32_t;
+
+/** Lifecycle of one job. Terminal states: kDone/kFailed/kTimedOut/
+ * kCancelled. */
+enum class JobState : std::int8_t {
+    kPending = 0,   ///< waiting on dependencies or a worker
+    kRunning = 1,   ///< executing on a pool worker
+    kDone = 2,      ///< completed normally
+    kFailed = 3,    ///< threw after exhausting its retry budget
+    kTimedOut = 4,  ///< exceeded its wall-clock budget (see @file)
+    kCancelled = 5, ///< never ran: graph cancelled or a dependency died
+};
+
+/** Human-readable name for @p s. */
+const char *job_state_name(JobState s);
+
+/** Per-job execution policy. */
+struct JobOptions
+{
+    /** Re-runs a throwing job up to this many extra attempts. */
+    int max_retries = 0;
+
+    /** Wall-clock budget in milliseconds; 0 disables the watchdog. */
+    std::int64_t timeout_ms = 0;
+};
+
+/** Outcome of JobGraph::run(). */
+struct RunReport
+{
+    std::size_t done = 0;
+    std::size_t failed = 0;    ///< includes timed-out jobs
+    std::size_t cancelled = 0;
+    std::uint64_t retries = 0; ///< total re-submissions after throws
+
+    /** Terminal state of each job, indexed by JobId. */
+    std::vector<JobState> states;
+
+    /**
+     * Error of the failed job with the smallest JobId (null when every
+     * job completed). Timed-out jobs carry a synthesised
+     * std::runtime_error.
+     */
+    std::exception_ptr first_error;
+
+    /** JobId of first_error's job, or -1. */
+    JobId first_failed = -1;
+
+    /** True when every job completed normally. */
+    bool ok() const { return failed == 0 && cancelled == 0; }
+
+    /** Rethrows first_error if any job failed. */
+    void rethrow_if_error() const;
+};
+
+/**
+ * A dependency graph of jobs, executed once on a ThreadPool.
+ *
+ * Thread safety: build the graph (add/add_edge) from one thread; during
+ * run(), cancel() may be called from any thread, including from inside a
+ * job. A JobGraph is single-use: run() may only be called once.
+ */
+class JobGraph
+{
+  public:
+    JobGraph() = default;
+    JobGraph(const JobGraph &) = delete;
+    JobGraph &operator=(const JobGraph &) = delete;
+
+    /** Adds a job; returns its id (ids are dense, in add() order). */
+    JobId add(std::function<void()> fn, const JobOptions &opts = {});
+
+    /** Requires @p before to reach a terminal state before @p after may
+     * start. If @p before fails, @p after is cancelled. */
+    void add_edge(JobId before, JobId after);
+
+    /**
+     * Cancels every job that has not yet started. Running jobs finish;
+     * callable from inside a job (the canceller itself still counts as
+     * done if it returns normally).
+     */
+    void cancel();
+
+    /** Number of jobs added. */
+    std::size_t size() const { return jobs_.size(); }
+
+    /**
+     * Executes the graph to quiescence and returns the report. Throws
+     * std::invalid_argument (before running anything) if the dependency
+     * edges contain a cycle.
+     */
+    RunReport run(ThreadPool &pool);
+
+  private:
+    struct JobNode
+    {
+        std::function<void()> fn;
+        JobOptions opts;
+        JobState state = JobState::kPending;
+        int unmet_deps = 0;
+        int attempts = 0;
+        std::exception_ptr error;
+        std::int64_t started_ms = 0; ///< watchdog epoch, valid kRunning
+        bool accounted = false;      ///< already counted terminal
+        std::vector<JobId> dependents;
+    };
+
+    // All helpers below run with mutex_ held.
+    void submit_ready_locked(ThreadPool &pool, JobId id);
+    void finish_locked(JobId id, JobState terminal,
+                       std::exception_ptr error);
+    void release_dependents_locked(ThreadPool &pool, JobId id);
+    void cancel_dependents_locked(JobId id);
+    void check_timeouts_locked();
+    void execute(ThreadPool &pool, JobId id);
+
+    std::mutex mutex_;
+    std::condition_variable done_cv_;
+    std::vector<JobNode> jobs_;
+    std::size_t terminal_ = 0;  ///< jobs in a terminal, accounted state
+    std::size_t in_flight_ = 0; ///< closures submitted but not returned
+    bool cancelled_ = false;
+    bool started_ = false;
+};
+
+} // namespace catnap
+
+#endif // CATNAP_EXEC_JOB_H

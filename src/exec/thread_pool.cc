@@ -1,0 +1,120 @@
+#include "exec/thread_pool.h"
+
+#include "common/log.h"
+
+namespace catnap {
+
+namespace {
+
+/** Worker index of the current thread (-1 off-pool). One pool at a time
+ * runs per thread, so a plain thread_local int suffices. */
+thread_local int t_worker_index = -1;
+
+} // namespace
+
+ThreadPool::ThreadPool(int jobs)
+{
+    if (jobs <= 0)
+        jobs = default_jobs();
+    queues_.reserve(static_cast<std::size_t>(jobs));
+    for (int i = 0; i < jobs; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(static_cast<std::size_t>(jobs));
+    for (int i = 0; i < jobs; ++i)
+        workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    CATNAP_ASSERT(task != nullptr, "ThreadPool::submit of empty task");
+    std::size_t target;
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        target = next_queue_++ % queues_.size();
+        ++pending_;
+    }
+    {
+        std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+        queues_[target]->tasks.push_back(std::move(task));
+    }
+    wake_cv_.notify_one();
+}
+
+bool
+ThreadPool::try_take(int my_index, std::function<void()> &task)
+{
+    const std::size_t n = queues_.size();
+    const auto me = static_cast<std::size_t>(my_index);
+    // Own queue first (front: newest-first keeps caches warm), then
+    // steal the oldest task from each sibling in index order.
+    {
+        std::lock_guard<std::mutex> lock(queues_[me]->mutex);
+        if (!queues_[me]->tasks.empty()) {
+            task = std::move(queues_[me]->tasks.front());
+            queues_[me]->tasks.pop_front();
+            return true;
+        }
+    }
+    for (std::size_t d = 1; d < n; ++d) {
+        const std::size_t victim = (me + d) % n;
+        std::lock_guard<std::mutex> lock(queues_[victim]->mutex);
+        if (!queues_[victim]->tasks.empty()) {
+            task = std::move(queues_[victim]->tasks.back());
+            queues_[victim]->tasks.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::worker_loop(int my_index)
+{
+    t_worker_index = my_index;
+    for (;;) {
+        std::function<void()> task;
+        if (try_take(my_index, task)) {
+            {
+                std::lock_guard<std::mutex> lock(sleep_mutex_);
+                --pending_;
+            }
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleep_mutex_);
+        // stop_ drains: exit only once every queued task has been taken.
+        if (stop_ && pending_ == 0)
+            return;
+        wake_cv_.wait(lock,
+                      [this] { return stop_ || pending_ > 0; });
+        if (stop_ && pending_ == 0)
+            return;
+    }
+}
+
+int
+ThreadPool::current_worker()
+{
+    return t_worker_index;
+}
+
+int
+ThreadPool::default_jobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+} // namespace catnap

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Work-stealing thread pool for the execution engine (DESIGN.md §12).
+ *
+ * Each worker owns a deque of tasks guarded by its own mutex; external
+ * submissions are distributed round-robin. A worker pops from the front
+ * of its own deque and, when empty, steals from the *back* of a sibling's
+ * deque, so long task chains stay hot on one core while idle cores pull
+ * the oldest (largest-granularity) work. All synchronisation is plain
+ * mutex + condition_variable — the design is deliberately lock-based so
+ * ThreadSanitizer can verify it exactly as written (no atomics whose
+ * orderings TSan models conservatively).
+ *
+ * The pool executes host-side orchestration only. Simulation code never
+ * runs concurrently over shared state: every job owns its MultiNoc,
+ * Metrics, and RNG (see exec/sweep_runner.h for the argument).
+ */
+#ifndef CATNAP_EXEC_THREAD_POOL_H
+#define CATNAP_EXEC_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace catnap {
+
+class ThreadPool
+{
+  public:
+    /**
+     * Starts @p jobs worker threads; 0 means default_jobs(). The pool
+     * never runs tasks on the submitting thread, so even jobs == 1 keeps
+     * submit() non-blocking.
+     */
+    explicit ThreadPool(int jobs = 0);
+
+    /** Drains every queued task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueues @p task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    /** Number of worker threads. */
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Index of the pool worker running the calling thread, or -1 when
+     * called from outside the pool. Used by the exec trace events to
+     * label Perfetto tracks per worker.
+     */
+    static int current_worker();
+
+    /** Default parallelism: hardware_concurrency, at least 1. */
+    static int default_jobs();
+
+  private:
+    void worker_loop(int my_index);
+    bool try_take(int my_index, std::function<void()> &task);
+
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    // Sleep/wake protocol: pending_ counts queued-but-untaken tasks and
+    // is only touched under sleep_mutex_, so a submit between "queue
+    // scan found nothing" and "wait" cannot be lost.
+    std::mutex sleep_mutex_;
+    std::condition_variable wake_cv_;
+    std::size_t pending_ = 0;
+    bool stop_ = false;
+    std::size_t next_queue_ = 0; ///< round-robin submission cursor
+};
+
+} // namespace catnap
+
+#endif // CATNAP_EXEC_THREAD_POOL_H

@@ -95,10 +95,24 @@ enum class EventKind : std::int8_t {
      * attempts (or with no healthy subnet left). [pkt=packet id,
      * a=attempts] */
     kPacketDrop = 17,
+
+    /**
+     * Execution engine (src/exec): a batch job started on a pool
+     * worker. Unlike every other kind, `cycle` holds host wall-clock
+     * *microseconds since batch start*, not simulation cycles, and the
+     * payload reflects host scheduling (run-to-run nondeterministic).
+     * [node=job index, a=worker index, b=jobs in the batch]
+     */
+    kExecJobBegin = 18,
+
+    /** Execution engine: a batch job finished. [node=job index,
+     * a=worker index, b=0 ok / 1 threw, pkt=duration in microseconds;
+     * `cycle` is host microseconds since batch start] */
+    kExecJobEnd = 19,
 };
 
 /** Number of distinct event kinds. */
-inline constexpr int kNumEventKinds = 18;
+inline constexpr int kNumEventKinds = 20;
 
 /** Why a sleeping router was woken (kRouterWakeBegin payload `a`). */
 enum class WakeReason : std::int8_t {

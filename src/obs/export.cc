@@ -94,7 +94,17 @@ write_chrome_trace(std::ostream &os, const EventTrace &trace,
 {
     TraceExportMeta m = meta;
     Cycle last_cycle = 0;
+    bool has_exec = false;
+    std::int32_t max_worker = 0;
     trace.for_each([&](const TraceEvent &ev) {
+        if (ev.kind == EventKind::kExecJobBegin ||
+            ev.kind == EventKind::kExecJobEnd) {
+            // Host-time track: excluded from the cycle-domain maxima
+            // (node holds a job index, not a router id).
+            has_exec = true;
+            max_worker = std::max(max_worker, ev.a);
+            return;
+        }
         last_cycle = std::max(last_cycle, ev.cycle);
         m.num_subnets = std::max(m.num_subnets, ev.subnet + 1);
         if (ev.kind == EventKind::kRcsSet ||
@@ -109,6 +119,18 @@ write_chrome_trace(std::ostream &os, const EventTrace &trace,
     os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
     JsonArrayWriter arr(os);
     write_metadata(arr, m);
+    if (has_exec) {
+        arr.next() << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
+                   << kExecTrackPid
+                   << ",\"args\":{\"name\":\"execution engine (host "
+                      "time, us)\"}}";
+        for (std::int32_t w = 0; w <= max_worker; ++w) {
+            arr.next() << "{\"name\":\"thread_name\",\"ph\":\"M\","
+                          "\"pid\":"
+                       << kExecTrackPid << ",\"tid\":" << w
+                       << ",\"args\":{\"name\":\"worker " << w << "\"}}";
+        }
+    }
 
     // Power-state spans: every router starts Active at the window start
     // (if the ring dropped the true beginning, the first retained
@@ -222,8 +244,23 @@ write_chrome_trace(std::ostream &os, const EventTrace &trace,
             write_instant(arr, "pkt drop", "fault", ev.subnet, ev.node,
                           ev.cycle);
             break;
+          case EventKind::kExecJobEnd: {
+            // One complete span per job attempt on the worker's thread
+            // of the exec process; ts/dur are host microseconds.
+            const auto dur = static_cast<Cycle>(ev.pkt);
+            arr.next() << "{\"name\":\"job " << ev.node
+                       << "\",\"cat\":\"exec\",\"ph\":\"X\",\"ts\":"
+                       << (ev.cycle >= dur ? ev.cycle - dur : 0)
+                       << ",\"dur\":" << dur
+                       << ",\"pid\":" << kExecTrackPid
+                       << ",\"tid\":" << (ev.a >= 0 ? ev.a : 0)
+                       << ",\"args\":{\"job\":" << ev.node
+                       << ",\"ok\":" << (ev.b == 0 ? 1 : 0) << "}}";
+            break;
+          }
           case EventKind::kFlitEject:
           case EventKind::kSubnetSelect:
+          case EventKind::kExecJobBegin:
             break; // JSONL-only detail; spans/counters cover the story
         }
     });

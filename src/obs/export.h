@@ -40,6 +40,14 @@ struct TraceExportMeta
  * (router threads use their node id directly). */
 inline constexpr int kRcsTrackTidBase = 100000;
 
+/**
+ * Process id of the execution-engine track in the Chrome export. Exec
+ * job spans live on their own process (one thread per pool worker) and
+ * are timestamped in host microseconds, separate from the per-subnet
+ * simulation processes whose timestamps are cycles.
+ */
+inline constexpr int kExecTrackPid = 200000;
+
 /** Writes @p trace as a single Chrome trace-event JSON object. */
 void write_chrome_trace(std::ostream &os, const EventTrace &trace,
                         const TraceExportMeta &meta);

@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Tests for the execution engine (src/exec/): thread pool, job graph,
+ * and the deterministic batch runner.
+ *
+ * The load-bearing guarantee is pinned by ExecSweep.*: the parallel
+ * sweep must be *byte-identical* to the serial loop for any --jobs
+ * value — compared through write_csv(), the same serialization the
+ * plotting scripts consume.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/job.h"
+#include "exec/sweep_runner.h"
+#include "exec/thread_pool.h"
+#include "obs/trace_buffer.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+
+namespace catnap {
+namespace {
+
+RunParams
+quick_params()
+{
+    RunParams rp;
+    rp.warmup = 200;
+    rp.measure = 600;
+    rp.drain_max = 1500;
+    return rp;
+}
+
+std::string
+to_csv(const std::vector<SyntheticResult> &rows)
+{
+    std::ostringstream os;
+    write_csv(os, rows);
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------
+
+TEST(ExecPool, RunsEverySubmittedTask)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(4);
+        EXPECT_EQ(pool.size(), 4);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&counter] { ++counter; });
+        // Destructor drains the queue before joining.
+    }
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ExecPool, WorkerIndexVisibleInsideTasksOnly)
+{
+    EXPECT_EQ(ThreadPool::current_worker(), -1);
+    std::atomic<bool> in_range{true};
+    {
+        ThreadPool pool(3);
+        for (int i = 0; i < 32; ++i) {
+            pool.submit([&in_range, &pool] {
+                const int w = ThreadPool::current_worker();
+                if (w < 0 || w >= pool.size())
+                    in_range = false;
+            });
+        }
+    }
+    EXPECT_TRUE(in_range.load());
+    EXPECT_GE(ThreadPool::default_jobs(), 1);
+}
+
+// ---------------------------------------------------------------------
+// JobGraph
+// ---------------------------------------------------------------------
+
+TEST(ExecGraph, DependencyEdgesOrderExecution)
+{
+    ThreadPool pool(4);
+    JobGraph graph;
+    // A chain writes into a plain (non-atomic) vector: the graph's
+    // release path must provide the happens-before edge.
+    std::vector<int> order;
+    const JobId a = graph.add([&order] { order.push_back(1); });
+    const JobId b = graph.add([&order] { order.push_back(2); });
+    const JobId c = graph.add([&order] { order.push_back(3); });
+    graph.add_edge(a, b);
+    graph.add_edge(b, c);
+
+    const RunReport report = graph.run(pool);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report.done, 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ExecGraph, CycleIsRejectedBeforeRunning)
+{
+    ThreadPool pool(2);
+    JobGraph graph;
+    std::atomic<int> ran{0};
+    const JobId a = graph.add([&ran] { ++ran; });
+    const JobId b = graph.add([&ran] { ++ran; });
+    graph.add_edge(a, b);
+    graph.add_edge(b, a);
+    EXPECT_THROW(graph.run(pool), std::invalid_argument);
+    EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ExecGraph, BadEdgeIsRejected)
+{
+    JobGraph graph;
+    const JobId a = graph.add([] {});
+    EXPECT_THROW(graph.add_edge(a, a), std::invalid_argument);
+    EXPECT_THROW(graph.add_edge(a, 7), std::invalid_argument);
+}
+
+TEST(ExecGraph, FailureCancelsDependentsAndIsAccounted)
+{
+    ThreadPool pool(2);
+    JobGraph graph;
+    std::atomic<bool> dependent_ran{false};
+    const JobId bad =
+        graph.add([] { throw std::runtime_error("boom"); });
+    const JobId child =
+        graph.add([&dependent_ran] { dependent_ran = true; });
+    const JobId grandchild = graph.add([] {});
+    graph.add_edge(bad, child);
+    graph.add_edge(child, grandchild);
+
+    const RunReport report = graph.run(pool);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.failed, 1u);
+    EXPECT_EQ(report.cancelled, 2u);
+    EXPECT_FALSE(dependent_ran.load());
+    EXPECT_EQ(report.states[static_cast<std::size_t>(bad)],
+              JobState::kFailed);
+    EXPECT_EQ(report.states[static_cast<std::size_t>(child)],
+              JobState::kCancelled);
+    EXPECT_EQ(report.states[static_cast<std::size_t>(grandchild)],
+              JobState::kCancelled);
+    EXPECT_EQ(report.first_failed, bad);
+    EXPECT_THROW(report.rethrow_if_error(), std::runtime_error);
+}
+
+TEST(ExecGraph, RetryBudgetRecoversFlakyJob)
+{
+    ThreadPool pool(2);
+    JobGraph graph;
+    std::atomic<int> attempts{0};
+    JobOptions opts;
+    opts.max_retries = 2;
+    graph.add(
+        [&attempts] {
+            if (++attempts < 3)
+                throw std::runtime_error("transient");
+        },
+        opts);
+
+    const RunReport report = graph.run(pool);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.retries, 2u);
+    EXPECT_EQ(attempts.load(), 3);
+}
+
+TEST(ExecGraph, CancellationMidRunSkipsPendingJobs)
+{
+    // One worker serializes execution, so cancelling from job 0
+    // guarantees jobs 2..N-1 are still pending when cancel() lands.
+    ThreadPool pool(1);
+    JobGraph graph;
+    std::atomic<int> ran{0};
+    graph.add([&graph, &ran] {
+        ++ran;
+        graph.cancel();
+    });
+    for (int i = 0; i < 8; ++i)
+        graph.add([&ran] { ++ran; });
+
+    const RunReport report = graph.run(pool);
+    EXPECT_FALSE(report.ok());
+    // The canceller completed; everything not yet started was skipped.
+    EXPECT_EQ(report.done + report.cancelled, 9u);
+    EXPECT_GE(report.cancelled, 1u);
+    EXPECT_EQ(static_cast<std::size_t>(ran.load()), report.done);
+}
+
+TEST(ExecGraph, TimeoutIsDetectedAndDiscarded)
+{
+    ThreadPool pool(2);
+    JobGraph graph;
+    JobOptions opts;
+    opts.timeout_ms = 10;
+    const JobId slow = graph.add(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(80)); },
+        opts);
+    const JobId child = graph.add([] {});
+    graph.add_edge(slow, child);
+
+    const RunReport report = graph.run(pool);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.states[static_cast<std::size_t>(slow)],
+              JobState::kTimedOut);
+    EXPECT_EQ(report.states[static_cast<std::size_t>(child)],
+              JobState::kCancelled);
+    EXPECT_THROW(report.rethrow_if_error(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// SweepRunner
+// ---------------------------------------------------------------------
+
+TEST(ExecRunner, DeliversResultsInSubmissionOrder)
+{
+    // Later jobs finish first (reverse-staggered sleeps), yet slot i
+    // must still hold f(i).
+    ExecOptions opts;
+    opts.jobs = 4;
+    SweepRunner runner(opts);
+    const std::size_t n = 16;
+    const auto results = runner.map<std::size_t>(n, [n](std::size_t i) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(200 * (n - i)));
+        return i * i;
+    });
+    ASSERT_EQ(results.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(results[i], i * i);
+}
+
+TEST(ExecRunner, FirstErrorBySubmissionIndexWins)
+{
+    ExecOptions opts;
+    opts.jobs = 4;
+    SweepRunner runner(opts);
+    try {
+        runner.run_jobs(12, [](std::size_t i) {
+            if (i == 3)
+                throw std::runtime_error("error from job 3");
+            if (i == 7)
+                throw std::runtime_error("error from job 7");
+        });
+        FAIL() << "expected run_jobs to rethrow";
+    } catch (const std::runtime_error &e) {
+        // Deterministic even though job 7 may *finish* first.
+        EXPECT_STREQ(e.what(), "error from job 3");
+    }
+}
+
+TEST(ExecRunner, EmitsBeginAndEndEventsPerJob)
+{
+    EventTrace trace(1024);
+    ExecOptions opts;
+    opts.jobs = 2;
+    opts.sink = &trace;
+    SweepRunner runner(opts);
+    runner.run_jobs(5, [](std::size_t) {});
+
+    std::size_t begins = 0, ends = 0, ok_ends = 0;
+    trace.for_each([&](const TraceEvent &ev) {
+        if (ev.kind == EventKind::kExecJobBegin)
+            ++begins;
+        if (ev.kind == EventKind::kExecJobEnd) {
+            ++ends;
+            if (ev.b == 0)
+                ++ok_ends;
+        }
+    });
+    EXPECT_EQ(begins, 5u);
+    EXPECT_EQ(ends, 5u);
+    EXPECT_EQ(ok_ends, 5u);
+}
+
+// ---------------------------------------------------------------------
+// run_batch / sweep_load_parallel: the determinism pin
+// ---------------------------------------------------------------------
+
+TEST(ExecSweep, ParallelIsByteIdenticalToSerial)
+{
+    // A fig10-style sweep: the Catnap configuration over a load grid,
+    // serialized through the same CSV writer the plot scripts use.
+    const MultiNocConfig cfg = multi_noc_config(4, GatingKind::kCatnap);
+    const SyntheticConfig traffic;
+    const RunParams rp = quick_params();
+    const std::vector<double> loads = {0.01, 0.03, 0.05, 0.10};
+
+    const auto serial = sweep_load(cfg, traffic, rp, loads);
+
+    ExecOptions opts;
+    opts.jobs = 4;
+    const auto parallel =
+        sweep_load_parallel(cfg, traffic, rp, loads, opts);
+
+    EXPECT_EQ(to_csv(serial), to_csv(parallel));
+}
+
+TEST(ExecSweep, SingleJobDegenerateCaseMatchesSerial)
+{
+    const MultiNocConfig cfg = multi_noc_config(4, GatingKind::kCatnap);
+    const SyntheticConfig traffic;
+    const RunParams rp = quick_params();
+    const std::vector<double> loads = {0.02, 0.08};
+
+    ExecOptions opts;
+    opts.jobs = 1;
+    EXPECT_EQ(to_csv(sweep_load(cfg, traffic, rp, loads)),
+              to_csv(sweep_load_parallel(cfg, traffic, rp, loads, opts)));
+}
+
+TEST(ExecSweep, RunBatchMixedConfigsMatchesSerialRuns)
+{
+    const RunParams rp = quick_params();
+    SyntheticConfig traffic;
+    traffic.load = 0.05;
+
+    std::vector<RunItem> items;
+    items.push_back(RunItem{single_noc_config(512), traffic, rp});
+    items.push_back(
+        RunItem{multi_noc_config(4, GatingKind::kCatnap), traffic, rp});
+    SyntheticConfig transpose = traffic;
+    transpose.pattern = PatternKind::kTranspose;
+    items.push_back(
+        RunItem{multi_noc_config(4, GatingKind::kCatnap), transpose, rp});
+
+    ExecOptions opts;
+    opts.jobs = 3;
+    const auto batch = run_batch(items, opts);
+
+    std::vector<SyntheticResult> serial;
+    for (const RunItem &item : items)
+        serial.push_back(run_synthetic(item.cfg, item.traffic,
+                                       item.params));
+    EXPECT_EQ(to_csv(serial), to_csv(batch));
+}
+
+TEST(ExecSweep, SharedObserverPointersAreRejected)
+{
+    const RunParams base = quick_params();
+    SyntheticConfig traffic;
+    traffic.load = 0.02;
+
+    EventTrace shared_trace(64);
+    RunParams with_sink = base;
+    with_sink.sink = &shared_trace;
+
+    std::vector<RunItem> items;
+    items.push_back(RunItem{multi_noc_config(2), traffic, with_sink});
+    items.push_back(RunItem{multi_noc_config(2), traffic, with_sink});
+    EXPECT_THROW(run_batch(items, ExecOptions{}), std::invalid_argument);
+
+    // Distinct sinks are fine.
+    EventTrace other_trace(64);
+    items[1].params.sink = &other_trace;
+    EXPECT_NO_THROW(run_batch(items, ExecOptions{}));
+}
+
+TEST(ExecSweep, ExceptionMidSweepPropagatesAfterBatchDrains)
+{
+    // A sweep where one point throws: the surviving points still run
+    // (independent points are not cancelled), and the error surfaces
+    // after the batch drains instead of hanging or being swallowed.
+    const MultiNocConfig cfg = multi_noc_config(2);
+    const RunParams rp = quick_params();
+    std::atomic<int> completed{0};
+
+    ExecOptions opts;
+    opts.jobs = 2;
+    SweepRunner runner(opts);
+    EXPECT_THROW(
+        runner.run_jobs(4,
+                        [&](std::size_t i) {
+                            if (i == 1)
+                                throw std::runtime_error("point 1 died");
+                            SyntheticConfig traffic;
+                            traffic.load = 0.02 + 0.02 * static_cast<double>(i);
+                            run_synthetic(cfg, traffic, rp);
+                            ++completed;
+                        }),
+        std::runtime_error);
+    EXPECT_EQ(completed.load(), 3);
+}
+
+} // namespace
+} // namespace catnap

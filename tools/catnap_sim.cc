@@ -16,9 +16,11 @@
 #include <vector>
 
 #include "app/system.h"
+#include "exec/sweep_runner.h"
 #include "obs/export.h"
 #include "obs/snapshot.h"
 #include "obs/trace_buffer.h"
+#include "sim/report.h"
 #include "sim/simulator.h"
 
 using namespace catnap;
@@ -50,6 +52,13 @@ usage(int code)
         "  --warmup N --measure N    phase lengths (cycles)\n"
         "  --seed N                  RNG seed\n"
         "  --no-vscale               run everything at 0.750 V\n"
+        "parallel sweeps (synthetic mode):\n"
+        "  --loads A,B,C             sweep offered loads instead of one\n"
+        "                            --load point (deterministic: output\n"
+        "                            is identical for every --jobs value)\n"
+        "  --jobs N                  worker threads for the sweep\n"
+        "                            (default: one per hardware thread)\n"
+        "  --csv FILE                save sweep results as CSV\n"
         "observability (synthetic mode):\n"
         "  --trace-out FILE          write Chrome trace-event JSON\n"
         "                            (open in Perfetto / chrome://tracing)\n"
@@ -205,6 +214,30 @@ parse_direction(const std::string &v)
     usage(2);
 }
 
+/** Parses a comma-separated load list ("0.01,0.05,0.1"). */
+std::vector<double>
+parse_loads(const char *flag, const std::string &value)
+{
+    std::vector<double> loads;
+    std::size_t pos = 0;
+    while (pos <= value.size()) {
+        std::size_t next = value.find(',', pos);
+        if (next == std::string::npos)
+            next = value.size();
+        const std::string field = value.substr(pos, next - pos);
+        char *end = nullptr;
+        const double v = std::strtod(field.c_str(), &end);
+        if (field.empty() || *end != '\0' || v <= 0.0) {
+            std::fprintf(stderr, "bad load '%s' in %s %s\n", field.c_str(),
+                         flag, value.c_str());
+            usage(2);
+        }
+        loads.push_back(v);
+        pos = next + 1;
+    }
+    return loads;
+}
+
 void
 print_power(const PowerBreakdown &p, const PowerBreakdown &stat)
 {
@@ -234,6 +267,9 @@ main(int argc, char **argv)
     std::string snapshot_out = "snapshots.csv";
     std::size_t trace_capacity = EventTrace::kDefaultCapacity;
     Cycle snapshot_every = 0;
+    std::vector<double> sweep_loads;
+    int jobs = 0;
+    std::string csv_out;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -275,6 +311,12 @@ main(int argc, char **argv)
                 std::atoll(need_value(argc, argv, i)));
         else if (a == "--no-vscale")
             rp.voltage_scaling = ap.voltage_scaling = false;
+        else if (a == "--loads")
+            sweep_loads = parse_loads(a.c_str(), need_value(argc, argv, i));
+        else if (a == "--jobs")
+            jobs = std::atoi(need_value(argc, argv, i));
+        else if (a == "--csv")
+            csv_out = need_value(argc, argv, i);
         else if (a == "--trace-out")
             trace_out = need_value(argc, argv, i);
         else if (a == "--trace-jsonl")
@@ -351,7 +393,37 @@ main(int argc, char **argv)
             ? threshold
             : CongestionConfig::default_threshold(cfg.congestion.metric);
 
-    if (mode == "synthetic") {
+    if (mode == "synthetic" && !sweep_loads.empty()) {
+        // Parallel load sweep: one run_synthetic point per load, fanned
+        // out over the execution engine; results arrive in load order
+        // and are bit-identical for every --jobs value.
+        if (!trace_out.empty() || !trace_jsonl.empty() ||
+            snapshot_every > 0) {
+            std::fprintf(stderr, "tracing/snapshots record one run; not "
+                                 "available with --loads\n");
+            usage(2);
+        }
+        ExecOptions eo;
+        eo.jobs = jobs;
+        const std::vector<SyntheticResult> rows =
+            sweep_load_parallel(cfg, traffic, rp, sweep_loads, eo);
+        std::printf("config       : %s (%dx%d mesh, %s selector, %s)\n",
+                    rows.front().config_label.c_str(), cfg.mesh_width,
+                    cfg.mesh_height, selector_kind_name(cfg.selector),
+                    gating_kind_name(cfg.gating));
+        std::printf("%-8s %10s %10s %10s %8s %10s\n", "load", "accepted",
+                    "lat(cy)", "p99(cy)", "CSC(%)", "power(W)");
+        for (const SyntheticResult &r : rows) {
+            std::printf("%-8.3f %10.3f %10.1f %10.1f %8.1f %10.2f\n",
+                        r.offered_load, r.accepted_rate, r.avg_latency,
+                        r.p99_latency, r.csc_percent, r.power.total());
+        }
+        if (!csv_out.empty()) {
+            save_csv(csv_out, rows);
+            std::printf("csv          : wrote %zu rows to %s\n",
+                        rows.size(), csv_out.c_str());
+        }
+    } else if (mode == "synthetic") {
         std::unique_ptr<EventTrace> trace;
         if (!trace_out.empty() || !trace_jsonl.empty()) {
             trace = std::make_unique<EventTrace>(trace_capacity);

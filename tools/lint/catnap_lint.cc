@@ -54,6 +54,17 @@
  * --sarif PATH a SARIF 2.1.0 log is written (even when clean) for
  * GitHub code scanning.
  *
+ * Host-side allowlist: files under `src/exec/` implement the batch
+ * execution engine, which orchestrates whole simulations from outside
+ * the tick loop and never mutates simulation state. For those files the
+ * L1 *wall-clock* bans are lifted (job timeouts and exec.* trace
+ * timestamps legitimately read the host's monotonic clock) — the RNG
+ * and unordered-container bans remain — and their functions are
+ * excluded from the L4/L5 tick-path call graph (they are not phase
+ * functions; name collisions like `submit`/`execute` must not alias
+ * them into it). Simulation determinism is unaffected: host time never
+ * flows into results, which tests/test_exec.cc pins bit-exactly.
+ *
  * Exit status: 0 clean, 1 violations found, 2 usage/IO error. With
  * --expect RULE the meaning inverts for fixtures: exit 0 iff at least
  * one violation of RULE was found (used by the ctest fixture tests).
@@ -110,6 +121,18 @@ struct PhaseTable
     std::set<std::string> read_fns;
     std::set<std::string> write_fns;
 };
+
+/**
+ * True for files on the host-side allowlist (see the file comment):
+ * the execution engine under src/exec/ runs around the simulation, not
+ * inside the tick loop, so the wall-clock bans and the tick-path call
+ * graph do not apply to it.
+ */
+bool
+is_host_side(const std::string &path)
+{
+    return path.find("src/exec/") != std::string::npos;
+}
 
 bool
 is_ident_char(char c)
@@ -790,14 +813,20 @@ annot_phase_of_name(const Program &prog, const std::string &name)
 void
 check_l1(const SourceFile &f, std::vector<Violation> &out)
 {
-    static const std::set<std::string> kBannedIdents = {
+    static const std::set<std::string> kBannedRngIdents = {
         "rand", "srand", "rand_r", "drand48", "lrand48", "random",
         "random_shuffle", "random_device", "mt19937", "mt19937_64",
         "default_random_engine", "minstd_rand", "minstd_rand0", "knuth_b",
-        "ranlux24", "ranlux48", "system_clock", "steady_clock",
-        "high_resolution_clock", "gettimeofday", "clock_gettime",
+        "ranlux24", "ranlux48",
+    };
+    static const std::set<std::string> kBannedClockIdents = {
+        "system_clock", "steady_clock", "high_resolution_clock",
+        "gettimeofday", "clock_gettime",
     };
     static const std::set<std::string> kBannedCalls = {"time", "clock"};
+    // Host-side files may read the host clock (timeouts, exec.* trace
+    // timestamps); the RNG and unordered-container bans still apply.
+    const bool clocks_allowed = is_host_side(f.path);
     static const std::set<std::string> kUnordered = {
         "unordered_map", "unordered_set", "unordered_multimap",
         "unordered_multiset",
@@ -808,12 +837,14 @@ check_l1(const SourceFile &f, std::vector<Violation> &out)
         const std::string &id = t[i].text;
         if (!is_ident_start(id[0]))
             continue;
-        if (kBannedIdents.count(id) > 0) {
+        if (kBannedRngIdents.count(id) > 0 ||
+            (!clocks_allowed && kBannedClockIdents.count(id) > 0)) {
             add_violation(out, f, t[i].line, "L1",
                           "nondeterministic source '" + id +
                               "': all randomness/time must flow through"
                               " common/rng.h and the Cycle clock");
-        } else if (kBannedCalls.count(id) > 0 && i + 1 < t.size() &&
+        } else if (!clocks_allowed && kBannedCalls.count(id) > 0 &&
+                   i + 1 < t.size() &&
                    t[i + 1].text == "(" &&
                    (i == 0 || (t[i - 1].text != "." &&
                                t[i - 1].text != "->" &&
@@ -1269,9 +1300,13 @@ main(int argc, char **argv)
     }
     const bool need_graph = rules.count("L4") || rules.count("L5");
     if (need_graph) {
-        for (std::size_t i = 0; i < sources.size(); ++i)
+        for (std::size_t i = 0; i < sources.size(); ++i) {
+            // Host-side files are outside the tick-path call graph.
+            if (is_host_side(sources[i].path))
+                continue;
             collect_defs(static_cast<int>(i), sources[i], scopes[i],
                          prog);
+        }
         for (FunctionDef &d : prog.defs)
             d.phase = resolve_phase(prog, d);
     }

@@ -1,0 +1,37 @@
+// Clean fixture for the host-side allowlist: this file's path contains
+// src/exec/, so the L1 wall-clock bans are lifted and its functions are
+// excluded from the L4/L5 tick-path call graph. Everything below would
+// be flagged in simulation code.
+#include <chrono>
+
+namespace catnap {
+
+class HostGraph
+{
+  public:
+    // Mutating members whose names collide with tick-path vocabulary
+    // (submit/execute) must NOT be aliased into the L4/L5 call graph.
+    void
+    submit(int v)
+    {
+        pending_ += v;
+    }
+
+    void
+    execute()
+    {
+        // Reading the host's monotonic clock is legal here (job
+        // timeouts, exec.* trace timestamps)...
+        started_ms_ =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+        pending_ = 0;
+    }
+
+  private:
+    int pending_ = 0;
+    long long started_ms_ = 0;
+};
+
+} // namespace catnap
