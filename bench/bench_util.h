@@ -35,12 +35,21 @@
 
 namespace catnap::bench {
 
+/**
+ * Warm-up length shared by every synthetic sweep harness. One constant,
+ * not per-harness literals: the value flows into RunParams::warmup and
+ * from there into the run-level checkpoint config hash (DESIGN.md §13),
+ * so a warm state saved or forked under one warm-up length can never be
+ * reused under another.
+ */
+inline constexpr Cycle kSweepWarmup = 1500;
+
 /** Standard phases for synthetic sweeps (kept short; shapes converge). */
 inline RunParams
 sweep_params()
 {
     RunParams rp;
-    rp.warmup = 1500;
+    rp.warmup = kSweepWarmup;
     rp.measure = 5000;
     rp.drain_max = 6000;
     return rp;
@@ -75,6 +84,14 @@ struct BenchOptions
     int jobs = 0;
     /** When non-empty, the harness saves its main sweep here. */
     std::string csv;
+    /**
+     * Warm up once per configuration (at the grid's first load) and
+     * fork the warm state for every sweep point instead of re-warming
+     * each point from cycle 0 (DESIGN.md §13). Points then measure
+     * their own load on a checkpoint-forked copy; output equals a
+     * from-scratch run that warmed at the same base load bit-for-bit.
+     */
+    bool fork_warmup = false;
 };
 
 /**
@@ -92,13 +109,21 @@ parse_options(int argc, char **argv)
             opts.jobs = std::atoi(argv[++i]);
         } else if (a == "--csv" && has_value) {
             opts.csv = argv[++i];
+        } else if (a == "--fork-warmup") {
+            opts.fork_warmup = true;
         } else if (a == "--help" || a == "-h") {
-            std::printf("usage: %s [--jobs N] [--csv FILE]\n"
+            std::printf("usage: %s [--jobs N] [--csv FILE] "
+                        "[--fork-warmup]\n"
                         "  --jobs N   worker threads for independent "
                         "simulation points\n"
                         "             (default: one per hardware thread; "
                         "1 = serial)\n"
-                        "  --csv FILE save the main sweep as CSV\n",
+                        "  --csv FILE save the main sweep as CSV\n"
+                        "  --fork-warmup\n"
+                        "             warm up once per configuration and "
+                        "fork the warm\n"
+                        "             state for every load point "
+                        "(checkpoint forking)\n",
                         argv[0]);
             std::exit(0);
         } else {
@@ -132,9 +157,43 @@ point(const MultiNocConfig &cfg, SyntheticConfig traffic,
 }
 
 /**
+ * The --fork-warmup grid: one warm-up per configuration at the grid's
+ * first load, then one checkpoint fork per point, each measuring its
+ * own load. Forks are fanned out over the execution engine (fork() only
+ * reads the warm run, so concurrent forks are safe); results land in
+ * point order. Identity contract: grid[c][l] equals a from-scratch run
+ * that warmed at loads[0] and measured at loads[l], bit-for-bit — see
+ * tests/test_ckpt.cc.
+ */
+inline std::vector<std::vector<SyntheticResult>>
+run_load_grid_forked(const std::vector<MultiNocConfig> &configs,
+                     const std::vector<double> &loads,
+                     const SyntheticConfig &traffic, const RunParams &rp,
+                     const BenchOptions &opts)
+{
+    SweepRunner runner(exec_options(opts));
+    std::vector<std::vector<SyntheticResult>> grid(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        SyntheticConfig base = traffic;
+        base.load = loads.front();
+        SyntheticRun warm(configs[c], base, rp);
+        warm.run_warmup();
+        grid[c] = runner.map<SyntheticResult>(
+            loads.size(), [&warm, &loads](std::size_t l) {
+                auto forked = warm.fork();
+                forked->set_load(loads[l]);
+                return forked->finish();
+            });
+    }
+    return grid;
+}
+
+/**
  * Runs the full |configs| x |loads| cross product in parallel and
  * returns it config-major (grid[c][l]), bit-identical to the nested
- * serial loops this replaces.
+ * serial loops this replaces. With --fork-warmup, each configuration
+ * warms up once and every point measures on a checkpoint fork of the
+ * warm state (see run_load_grid_forked()).
  */
 inline std::vector<std::vector<SyntheticResult>>
 run_load_grid(const std::vector<MultiNocConfig> &configs,
@@ -142,6 +201,9 @@ run_load_grid(const std::vector<MultiNocConfig> &configs,
               const SyntheticConfig &traffic, const RunParams &rp,
               const BenchOptions &opts)
 {
+    if (opts.fork_warmup)
+        return run_load_grid_forked(configs, loads, traffic, rp, opts);
+
     std::vector<RunItem> items;
     items.reserve(configs.size() * loads.size());
     for (const auto &cfg : configs)

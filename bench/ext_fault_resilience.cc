@@ -48,7 +48,7 @@ main(int argc, char **argv)
     };
 
     RunParams rp;
-    rp.warmup = 1500;
+    rp.warmup = bench::kSweepWarmup;
     rp.measure = 20000;
     rp.drain_max = 30000;
 

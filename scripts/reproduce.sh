@@ -47,6 +47,25 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" 2>&1 |
     esac
     end=$(date +%s%N)
     echo "[time] $(basename "$b"): $(((end - start) / 1000000)) ms"
+    if [ "$(basename "$b")" = "fig10_synthetic_sweep" ]; then
+      # Throughput record for the Figure 10 sweep. The constants mirror
+      # the harness: 4 configs x 9 loads (fig10_synthetic_sweep.cc) at
+      # the shared phase lengths of bench_util.h sweep_params(); the
+      # variable-length drain phase is excluded from the cycle count.
+      ms=$(((end - start) / 1000000))
+      points=36
+      warmup=1500
+      measure=5000
+      sim_cycles=$((points * (warmup + measure)))
+      cps=0
+      [ "$ms" -gt 0 ] && cps=$((sim_cycles * 1000 / ms))
+      warm_frac=$(awk -v w="$warmup" -v m="$measure" \
+                  'BEGIN { printf "%.4f", w / (w + m) }')
+      printf '{\n  "bench": "fig10_synthetic_sweep",\n  "jobs": %s,\n  "points": %s,\n  "warmup_cycles_per_point": %s,\n  "measure_cycles_per_point": %s,\n  "warmup_fraction_of_point": %s,\n  "simulated_cycles_excl_drain": %s,\n  "wall_clock_ms": %s,\n  "cycles_per_sec": %s\n}\n' \
+        "$JOBS" "$points" "$warmup" "$measure" "$warm_frac" \
+        "$sim_cycles" "$ms" "$cps" > results/BENCH_fig10.json
+      echo "[json] wrote results/BENCH_fig10.json"
+    fi
     echo
   done
   total_end=$(date +%s)

@@ -120,6 +120,20 @@ class CmpSystem
     std::uint64_t misses_issued() const { return misses_issued_; }
     std::uint64_t misses_completed() const { return misses_completed_; }
 
+    // -- Checkpointing (src/ckpt; DESIGN.md §13) ---------------------------
+
+    /**
+     * Appends the full closed-loop system state: the embedded MultiNoc,
+     * every core, MC service clocks, the protocol RNG, packet-id/miss
+     * counters, and the deferred-send queue. MC placement and packet
+     * sinks are wiring, rebuilt by the constructor on restore.
+     */
+    CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const;
+
+    /** Restores what Serialize() wrote into a system constructed from
+     * the identical config/mix/params. */
+    CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r);
+
   private:
     /** Message kinds carried in the packet user tag. */
     enum class Kind : std::uint8_t {
@@ -148,7 +162,16 @@ class CmpSystem
     {
         Cycle ready;
         PacketDesc pkt;
-        bool operator>(const DeferredSend &o) const { return ready > o.ready; }
+        /** Total order (packet ids are unique): heap pop order is then a
+         * pure function of the queue's contents, which checkpointing
+         * relies on to rebuild the queue with identical behaviour. */
+        bool
+        operator>(const DeferredSend &o) const
+        {
+            if (ready != o.ready)
+                return ready > o.ready;
+            return pkt.id > o.pkt.id;
+        }
     };
 
     CATNAP_PHASE_WRITE void issue_miss(CoreId core, Cycle now);

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Field-wise codecs for the small value types that appear inside many
+ * checkpointed containers (flits, packet descriptors). Shared by the
+ * router, NI, traffic, and app serializers so every subsystem encodes
+ * these types identically (DESIGN.md §13).
+ *
+ * Helpers are free functions: they mutate no member state themselves, so
+ * they stay outside the phase lint's member-function rules while still
+ * composing cleanly with READ Serialize / WRITE Deserialize callers.
+ */
+#ifndef CATNAP_CKPT_CODEC_H
+#define CATNAP_CKPT_CODEC_H
+
+#include <vector>
+
+#include "ckpt/archive.h"
+#include "noc/buffer.h"
+#include "noc/flit.h"
+
+namespace catnap {
+namespace ckpt {
+
+/** Appends a PacketDesc field by field. */
+inline void
+put_packet(Writer &w, const PacketDesc &p)
+{
+    w.put_u64(p.id);
+    w.put_i32(p.src);
+    w.put_i32(p.dst);
+    w.put_i32(static_cast<int>(p.mc));
+    w.put_i32(p.size_bits);
+    w.put_u64(p.created);
+    w.put_u64(p.user);
+}
+
+/** Consumes a PacketDesc written by put_packet. */
+inline PacketDesc
+take_packet(Reader &r)
+{
+    PacketDesc p;
+    p.id = r.take_u64();
+    p.src = r.take_i32();
+    p.dst = r.take_i32();
+    p.mc = static_cast<MessageClass>(r.take_i32());
+    p.size_bits = r.take_i32();
+    p.created = r.take_u64();
+    p.user = r.take_u64();
+    return p;
+}
+
+/** Appends a Flit field by field. */
+inline void
+put_flit(Writer &w, const Flit &f)
+{
+    w.put_u64(f.pkt);
+    w.put_i32(f.src);
+    w.put_i32(f.dst);
+    w.put_i32(static_cast<int>(f.mc));
+    w.put_i32(f.seq);
+    w.put_i32(f.pkt_flits);
+    w.put_i32(static_cast<int>(f.out_dir));
+    w.put_i32(f.vc);
+    w.put_u64(f.user);
+    w.put_bool(f.wrapped);
+    w.put_u64(f.created);
+    w.put_u64(f.injected);
+}
+
+/** Consumes a Flit written by put_flit. */
+inline Flit
+take_flit(Reader &r)
+{
+    Flit f;
+    f.pkt = r.take_u64();
+    f.src = r.take_i32();
+    f.dst = r.take_i32();
+    f.mc = static_cast<MessageClass>(r.take_i32());
+    f.seq = static_cast<std::int16_t>(r.take_i32());
+    f.pkt_flits = static_cast<std::int16_t>(r.take_i32());
+    f.out_dir = static_cast<Direction>(r.take_i32());
+    f.vc = r.take_i32();
+    f.user = r.take_u64();
+    f.wrapped = r.take_bool();
+    f.created = r.take_u64();
+    f.injected = r.take_u64();
+    return f;
+}
+
+/**
+ * Consumes a container length that must match the size the constructor
+ * already gave the live container (topology-derived containers are sized
+ * by config, never by the checkpoint). A mismatch means the file does not
+ * describe this configuration — defense in depth behind the header's
+ * config hash.
+ */
+inline std::size_t
+take_count_exact(Reader &r, std::size_t expected, const char *what)
+{
+    const std::uint64_t got = r.take_u64();
+    if (got != static_cast<std::uint64_t>(expected))
+        throw CkptError(std::string("checkpoint: ") + what + " count " +
+                        std::to_string(got) + " does not match configured " +
+                        std::to_string(expected));
+    return expected;
+}
+
+/** Appends a vector of 32-bit ints with a length prefix. */
+inline void
+put_vec_i32(Writer &w, const std::vector<int> &v)
+{
+    w.put_u64(v.size());
+    for (int x : v)
+        w.put_i32(x);
+}
+
+/** Restores a constructor-sized vector of ints; count must match. */
+inline void
+take_vec_i32_exact(Reader &r, std::vector<int> &v, const char *what)
+{
+    take_count_exact(r, v.size(), what);
+    for (int &x : v)
+        x = r.take_i32();
+}
+
+/** Appends a vector of 64-bit ints with a length prefix. */
+inline void
+put_vec_i64(Writer &w, const std::vector<std::int64_t> &v)
+{
+    w.put_u64(v.size());
+    for (std::int64_t x : v)
+        w.put_i64(x);
+}
+
+/** Restores a constructor-sized vector of 64-bit ints; count must match. */
+inline void
+take_vec_i64_exact(Reader &r, std::vector<std::int64_t> &v, const char *what)
+{
+    take_count_exact(r, v.size(), what);
+    for (std::int64_t &x : v)
+        x = r.take_i64();
+}
+
+/** Appends a vector<bool> with a length prefix. */
+inline void
+put_vec_bool(Writer &w, const std::vector<bool> &v)
+{
+    w.put_u64(v.size());
+    for (bool b : v)
+        w.put_bool(b);
+}
+
+/** Restores a constructor-sized vector<bool>; count must match. */
+inline void
+take_vec_bool_exact(Reader &r, std::vector<bool> &v, const char *what)
+{
+    take_count_exact(r, v.size(), what);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = r.take_bool();
+}
+
+/** Appends a RingFifo front-to-back using @p put for each element. */
+template <typename T, typename PutFn>
+void
+put_fifo(Writer &w, const RingFifo<T> &f, PutFn put)
+{
+    w.put_u64(f.size());
+    for (std::size_t i = 0; i < f.size(); ++i)
+        put(w, f.at(i));
+}
+
+/**
+ * Restores a RingFifo's contents using @p take per element. Capacity is
+ * construction-time state and never changes; an over-capacity count means
+ * the checkpoint does not describe this configuration.
+ */
+template <typename T, typename TakeFn>
+void
+take_fifo(Reader &r, RingFifo<T> &f, TakeFn take)
+{
+    const std::uint64_t n = r.take_u64();
+    if (n > f.capacity())
+        throw CkptError("checkpoint: FIFO holds " + std::to_string(n) +
+                        " element(s) but configured capacity is " +
+                        std::to_string(f.capacity()));
+    f.clear();
+    for (std::uint64_t i = 0; i < n; ++i)
+        f.push(take(r));
+}
+
+} // namespace ckpt
+} // namespace catnap
+
+#endif // CATNAP_CKPT_CODEC_H

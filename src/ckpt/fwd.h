@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Forward declarations for the checkpoint archive types, so stateful
+ * headers can declare Serialize/Deserialize members without pulling the
+ * full archive implementation into every translation unit.
+ */
+#ifndef CATNAP_CKPT_FWD_H
+#define CATNAP_CKPT_FWD_H
+
+namespace catnap {
+namespace ckpt {
+
+class Writer;
+class Reader;
+
+} // namespace ckpt
+} // namespace catnap
+
+#endif // CATNAP_CKPT_FWD_H

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <limits>
 #include <vector>
+#include "ckpt/archive.h"
 #include "common/phase.h"
 
 namespace catnap {
@@ -66,6 +67,30 @@ class RunningStat
 
     /** Maximum sample, or 0 if empty. */
     double max() const { return n_ ? max_ : 0.0; }
+
+    /** Appends the accumulator state to a checkpoint (DESIGN.md §13). */
+    CATNAP_PHASE_READ void
+    Serialize(ckpt::Writer &w) const
+    {
+        w.put_u64(n_);
+        w.put_double(mean_);
+        w.put_double(m2_);
+        w.put_double(sum_);
+        w.put_double(min_);
+        w.put_double(max_);
+    }
+
+    /** Restores the accumulator state from a checkpoint. */
+    CATNAP_PHASE_WRITE void
+    Deserialize(ckpt::Reader &r)
+    {
+        n_ = r.take_u64();
+        mean_ = r.take_double();
+        m2_ = r.take_double();
+        sum_ = r.take_double();
+        min_ = r.take_double();
+        max_ = r.take_double();
+    }
 
   private:
     std::uint64_t n_ = 0;
@@ -127,6 +152,28 @@ class Histogram
         return width_ * static_cast<double>(counts_.size());
     }
 
+    /** Appends the histogram state to a checkpoint (DESIGN.md §13). */
+    CATNAP_PHASE_READ void
+    Serialize(ckpt::Writer &w) const
+    {
+        w.put_double(width_);
+        w.put_u64(counts_.size());
+        for (std::uint64_t c : counts_)
+            w.put_u64(c);
+        w.put_u64(total_);
+    }
+
+    /** Restores the histogram state from a checkpoint. */
+    CATNAP_PHASE_WRITE void
+    Deserialize(ckpt::Reader &r)
+    {
+        width_ = r.take_double();
+        counts_.assign(static_cast<std::size_t>(r.take_u64()), 0);
+        for (std::uint64_t &c : counts_)
+            c = r.take_u64();
+        total_ = r.take_u64();
+    }
+
   private:
     double width_;
     std::vector<std::uint64_t> counts_;
@@ -171,6 +218,30 @@ class WindowedSeries
 
     /** Window length in cycles. */
     std::uint64_t window() const { return window_; }
+
+    /** Appends the sampler state to a checkpoint (DESIGN.md §13). */
+    CATNAP_PHASE_READ void
+    Serialize(ckpt::Writer &w) const
+    {
+        w.put_u64(window_);
+        w.put_u64(next_index_);
+        w.put_double(current_);
+        w.put_u64(samples_.size());
+        for (double s : samples_)
+            w.put_double(s);
+    }
+
+    /** Restores the sampler state from a checkpoint. */
+    CATNAP_PHASE_WRITE void
+    Deserialize(ckpt::Reader &r)
+    {
+        window_ = r.take_u64();
+        next_index_ = r.take_u64();
+        current_ = r.take_double();
+        samples_.assign(static_cast<std::size_t>(r.take_u64()), 0.0);
+        for (double &s : samples_)
+            s = r.take_double();
+    }
 
   private:
     std::uint64_t window_;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/archive.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "common/phase.h"
@@ -184,6 +185,78 @@ class NetMetrics
     subnet_series(SubnetId s) const
     {
         return subnet_series_[static_cast<std::size_t>(s)];
+    }
+
+    /** Appends the full metric state to a checkpoint (DESIGN.md §13). */
+    CATNAP_PHASE_READ void
+    Serialize(ckpt::Writer &w) const
+    {
+        w.put_u64(measure_begin_);
+        w.put_u64(measure_end_);
+        w.put_bool(series_enabled_);
+        w.put_u64(offered_packets_);
+        w.put_u64(offered_flits_);
+        w.put_u64(injected_flits_);
+        w.put_u64(ejected_packets_);
+        w.put_u64(ejected_flits_);
+        w.put_u64(ejected_network_flits_);
+        w.put_u64(offered_packets_window_);
+        w.put_u64(offered_flits_window_);
+        w.put_u64(ejected_packets_window_);
+        w.put_u64(ejected_flits_window_);
+        w.put_u64(retransmits_);
+        w.put_u64(dropped_packets_);
+        w.put_u64(dropped_flits_);
+        w.put_u64(injected_flits_per_subnet_.size());
+        for (std::uint64_t f : injected_flits_per_subnet_)
+            w.put_u64(f);
+        total_latency_.Serialize(w);
+        network_latency_.Serialize(w);
+        hop_count_.Serialize(w);
+        latency_hist_.Serialize(w);
+        offered_series_.Serialize(w);
+        accepted_series_.Serialize(w);
+        w.put_u64(subnet_series_.size());
+        for (const WindowedSeries &s : subnet_series_)
+            s.Serialize(w);
+    }
+
+    /** Restores the full metric state from a checkpoint. */
+    CATNAP_PHASE_WRITE void
+    Deserialize(ckpt::Reader &r)
+    {
+        measure_begin_ = r.take_u64();
+        measure_end_ = r.take_u64();
+        series_enabled_ = r.take_bool();
+        offered_packets_ = r.take_u64();
+        offered_flits_ = r.take_u64();
+        injected_flits_ = r.take_u64();
+        ejected_packets_ = r.take_u64();
+        ejected_flits_ = r.take_u64();
+        ejected_network_flits_ = r.take_u64();
+        offered_packets_window_ = r.take_u64();
+        offered_flits_window_ = r.take_u64();
+        ejected_packets_window_ = r.take_u64();
+        ejected_flits_window_ = r.take_u64();
+        retransmits_ = r.take_u64();
+        dropped_packets_ = r.take_u64();
+        dropped_flits_ = r.take_u64();
+        if (r.take_u64() != injected_flits_per_subnet_.size())
+            throw ckpt::CkptError(
+                "checkpoint: per-subnet flit counter count mismatch");
+        for (std::uint64_t &f : injected_flits_per_subnet_)
+            f = r.take_u64();
+        total_latency_.Deserialize(r);
+        network_latency_.Deserialize(r);
+        hop_count_.Deserialize(r);
+        latency_hist_.Deserialize(r);
+        offered_series_.Deserialize(r);
+        accepted_series_.Deserialize(r);
+        if (r.take_u64() != subnet_series_.size())
+            throw ckpt::CkptError(
+                "checkpoint: subnet series count mismatch");
+        for (WindowedSeries &s : subnet_series_)
+            s.Deserialize(r);
     }
 
   private:

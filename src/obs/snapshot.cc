@@ -15,7 +15,7 @@ SnapshotRecorder::SnapshotRecorder(Cycle interval)
     CATNAP_ASSERT(interval_ >= 1, "snapshot interval must be >= 1 cycle");
 }
 
-void
+CATNAP_PHASE_WRITE void
 SnapshotRecorder::observe(const MultiNoc &net, Cycle now)
 {
     const auto subnets = static_cast<std::size_t>(net.num_subnets());

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/phase.h"
 #include "common/types.h"
 
 namespace catnap {
@@ -54,7 +55,7 @@ class SnapshotRecorder
      * every call and appends one row per subnet whenever an epoch ends.
      * Must be called with strictly increasing @p now.
      */
-    void observe(const MultiNoc &net, Cycle now);
+    CATNAP_PHASE_WRITE void observe(const MultiNoc &net, Cycle now);
 
     /** Sampling interval, cycles. */
     Cycle interval() const { return interval_; }

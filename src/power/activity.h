@@ -9,6 +9,9 @@
 
 #include <cstdint>
 
+#include "ckpt/archive.h"
+#include "common/phase.h"
+
 namespace catnap {
 
 /**
@@ -72,6 +75,48 @@ struct ActivityCounters
 
     /** Zeroes every counter. */
     void reset() { *this = ActivityCounters(); }
+
+    /** Appends every counter to a checkpoint (DESIGN.md §13). */
+    CATNAP_PHASE_READ void
+    Serialize(ckpt::Writer &w) const
+    {
+        w.put_u64(buffer_writes);
+        w.put_u64(buffer_reads);
+        w.put_u64(xbar_traversals);
+        w.put_u64(link_flits);
+        w.put_u64(arb_ops);
+        w.put_u64(ni_flits);
+        w.put_u64(active_cycles);
+        w.put_u64(sleep_cycles);
+        w.put_u64(sleep_transitions);
+        w.put_i64(compensated_sleep_cycles);
+        w.put_i64(net_sleep_savings_cycles);
+        w.put_u64(port_sleep_cycles);
+        w.put_u64(port_sleep_transitions);
+        w.put_i64(port_compensated_sleep_cycles);
+        w.put_i64(port_net_sleep_savings_cycles);
+    }
+
+    /** Restores every counter from a checkpoint. */
+    CATNAP_PHASE_WRITE void
+    Deserialize(ckpt::Reader &r)
+    {
+        buffer_writes = r.take_u64();
+        buffer_reads = r.take_u64();
+        xbar_traversals = r.take_u64();
+        link_flits = r.take_u64();
+        arb_ops = r.take_u64();
+        ni_flits = r.take_u64();
+        active_cycles = r.take_u64();
+        sleep_cycles = r.take_u64();
+        sleep_transitions = r.take_u64();
+        compensated_sleep_cycles = r.take_i64();
+        net_sleep_savings_cycles = r.take_i64();
+        port_sleep_cycles = r.take_u64();
+        port_sleep_transitions = r.take_u64();
+        port_compensated_sleep_cycles = r.take_i64();
+        port_net_sleep_savings_cycles = r.take_i64();
+    }
 };
 
 } // namespace catnap

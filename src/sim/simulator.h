@@ -7,8 +7,10 @@
 #ifndef CATNAP_SIM_SIMULATOR_H
 #define CATNAP_SIM_SIMULATOR_H
 
+#include <memory>
 #include <string>
 
+#include "ckpt/fwd.h"
 #include "noc/multinoc.h"
 #include "power/power_meter.h"
 #include "traffic/synthetic.h"
@@ -76,6 +78,111 @@ struct SyntheticResult
 
 /** Supply voltage a config runs at under @p params' scaling rule. */
 double config_vdd(const MultiNocConfig &cfg, const RunParams &params);
+
+/**
+ * One synthetic experiment as a resumable object: the phases of
+ * run_synthetic() split apart so a run can be checkpointed to disk
+ * mid-flight, restored, or forked in memory after warm-up
+ * (DESIGN.md §13).
+ *
+ * The canonical sequence — construct, run_warmup(), finish() — executes
+ * exactly the statements run_synthetic() always ran, in the same order,
+ * so results are bit-identical to the historical monolithic path.
+ *
+ * Warm-up forking: warm one run per configuration, then fork() once per
+ * sweep point, set_load(point), and finish() each fork. A fork shares no
+ * mutable state with its parent; measuring a fork equals (bit-for-bit)
+ * warming a fresh run at the base load and measuring at the point load.
+ */
+class SyntheticRun
+{
+  public:
+    SyntheticRun(const MultiNocConfig &net_cfg,
+                 const SyntheticConfig &traffic, const RunParams &params);
+
+    /** Advances to the end of the warm-up phase (no-op once past it). */
+    void run_warmup();
+
+    /**
+     * Runs measurement and drain, then assembles the result. On a run
+     * restored mid-measurement, continues the open measurement interval
+     * instead of restarting it.
+     */
+    SyntheticResult finish();
+
+    /** Changes the offered load (between fork() and finish()). */
+    void set_load(double load);
+
+    /**
+     * In-memory deep copy sharing no mutable state with this run.
+     * Observability hooks (sink/snapshots) are NOT inherited by the
+     * fork: one recorder must never receive two interleaved streams.
+     */
+    std::unique_ptr<SyntheticRun> fork() const;
+
+    /**
+     * Saves the complete mid-run state (network, traffic generator,
+     * measurement bookkeeping) as a sealed checkpoint file. The config
+     * hash covers the network config plus traffic and phase parameters,
+     * so a run checkpoint only restores into the identical experiment.
+     */
+    void save_checkpoint(const std::string &path) const;
+
+    /**
+     * Resumes a run saved by save_checkpoint(). @p net_cfg, @p traffic,
+     * and @p params must equal the saving run's (hash-enforced).
+     * Finishing the restored run reproduces the uninterrupted run's
+     * result exactly.
+     */
+    static std::unique_ptr<SyntheticRun>
+    restore_checkpoint(const MultiNocConfig &net_cfg,
+                       const SyntheticConfig &traffic,
+                       const RunParams &params, const std::string &path);
+
+    /** Overwrites @p path every @p every cycles during warm-up and
+     * measurement (0 disables). Saving never perturbs the run. */
+    void
+    set_autosave(std::string path, Cycle every)
+    {
+        autosave_path_ = std::move(path);
+        autosave_every_ = every;
+    }
+
+    MultiNoc &net() { return *net_; }
+    const MultiNoc &net() const { return *net_; }
+    Cycle now() const { return net_->now(); }
+
+  private:
+    /** Appends the run payload (network, generator, harness section). */
+    CATNAP_PHASE_READ void serialize_run(ckpt::Writer &w) const;
+
+    /** Restores what serialize_run() wrote into an identically
+     * constructed run. */
+    CATNAP_PHASE_WRITE void deserialize_run(ckpt::Reader &r);
+
+    /** Config hash of run-level checkpoints: the network config hash
+     * extended with a domain tag, the traffic config, and the phase
+     * parameters (warm-up length included, per DESIGN.md §13). */
+    std::uint64_t run_hash() const;
+
+    void step();
+    void maybe_autosave();
+
+    MultiNocConfig cfg_;
+    SyntheticConfig traffic_;
+    RunParams params_;
+    double vdd_ = 0.0;
+    std::unique_ptr<MultiNoc> net_;
+    std::unique_ptr<SyntheticTraffic> gen_;
+    std::unique_ptr<PowerMeter> meter_;
+    /** True once the measurement interval is open (meter begun and the
+     * offered/ejected baselines captured). */
+    bool measuring_ = false;
+    std::uint64_t offered0_ = 0;
+    std::uint64_t ejected0_ = 0;
+    std::string autosave_path_;
+    Cycle autosave_every_ = 0;
+};
 
 /**
  * Runs @p net_cfg under @p traffic for the phases in @p params.

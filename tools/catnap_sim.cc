@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "app/system.h"
+#include "ckpt/checkpoint.h"
 #include "exec/sweep_runner.h"
 #include "obs/export.h"
 #include "obs/snapshot.h"
@@ -59,6 +60,14 @@ usage(int code)
         "  --jobs N                  worker threads for the sweep\n"
         "                            (default: one per hardware thread)\n"
         "  --csv FILE                save sweep results as CSV\n"
+        "checkpointing (synthetic single-run mode; DESIGN.md §13):\n"
+        "  --save-ckpt FILE          write a checkpoint at the end of\n"
+        "                            warm-up (or every --ckpt-every N\n"
+        "                            cycles, overwriting FILE)\n"
+        "  --load-ckpt FILE          resume from FILE and run to\n"
+        "                            completion; all other flags must\n"
+        "                            match the saving run (hash-checked)\n"
+        "  --ckpt-every N            periodic save interval in cycles\n"
         "observability (synthetic mode):\n"
         "  --trace-out FILE          write Chrome trace-event JSON\n"
         "                            (open in Perfetto / chrome://tracing)\n"
@@ -270,6 +279,9 @@ main(int argc, char **argv)
     std::vector<double> sweep_loads;
     int jobs = 0;
     std::string csv_out;
+    std::string save_ckpt;
+    std::string load_ckpt;
+    Cycle ckpt_every = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -317,6 +329,13 @@ main(int argc, char **argv)
             jobs = std::atoi(need_value(argc, argv, i));
         else if (a == "--csv")
             csv_out = need_value(argc, argv, i);
+        else if (a == "--save-ckpt")
+            save_ckpt = need_value(argc, argv, i);
+        else if (a == "--load-ckpt")
+            load_ckpt = need_value(argc, argv, i);
+        else if (a == "--ckpt-every")
+            ckpt_every =
+                static_cast<Cycle>(std::atoll(need_value(argc, argv, i)));
         else if (a == "--trace-out")
             trace_out = need_value(argc, argv, i);
         else if (a == "--trace-jsonl")
@@ -403,6 +422,11 @@ main(int argc, char **argv)
                                  "available with --loads\n");
             usage(2);
         }
+        if (!save_ckpt.empty() || !load_ckpt.empty()) {
+            std::fprintf(stderr, "checkpoints capture one run; not "
+                                 "available with --loads\n");
+            usage(2);
+        }
         ExecOptions eo;
         eo.jobs = jobs;
         const std::vector<SyntheticResult> rows =
@@ -435,7 +459,33 @@ main(int argc, char **argv)
             rp.snapshots = snaps.get();
         }
 
-        const SyntheticResult r = run_synthetic(cfg, traffic, rp);
+        std::unique_ptr<SyntheticRun> run;
+        try {
+            if (!load_ckpt.empty()) {
+                run = SyntheticRun::restore_checkpoint(cfg, traffic, rp,
+                                                       load_ckpt);
+                std::printf("checkpoint   : resumed %s at cycle %llu\n",
+                            load_ckpt.c_str(),
+                            static_cast<unsigned long long>(run->now()));
+            } else {
+                run = std::make_unique<SyntheticRun>(cfg, traffic, rp);
+            }
+            if (!save_ckpt.empty() && ckpt_every > 0)
+                run->set_autosave(save_ckpt, ckpt_every);
+            run->run_warmup();
+            if (!save_ckpt.empty() && ckpt_every == 0) {
+                run->save_checkpoint(save_ckpt);
+                std::printf(
+                    "checkpoint   : wrote %s at end of warm-up "
+                    "(cycle %llu)\n",
+                    save_ckpt.c_str(),
+                    static_cast<unsigned long long>(run->now()));
+            }
+        } catch (const ckpt::CkptError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+        const SyntheticResult r = run->finish();
         std::printf("config       : %s (%dx%d mesh, %s selector, %s)\n",
                     r.config_label.c_str(), cfg.mesh_width, cfg.mesh_height,
                     selector_kind_name(cfg.selector),
