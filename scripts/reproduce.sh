@@ -63,7 +63,18 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" 2>&1 |
                   'BEGIN { printf "%.4f", w / (w + m) }')
       printf '{\n  "bench": "fig10_synthetic_sweep",\n  "jobs": %s,\n  "points": %s,\n  "warmup_cycles_per_point": %s,\n  "measure_cycles_per_point": %s,\n  "warmup_fraction_of_point": %s,\n  "simulated_cycles_excl_drain": %s,\n  "wall_clock_ms": %s,\n  "cycles_per_sec": %s\n}\n' \
         "$JOBS" "$points" "$warmup" "$measure" "$warm_frac" \
-        "$sim_cycles" "$ms" "$cps" > results/BENCH_fig10.json
+        "$sim_cycles" "$ms" "$cps" > results/BENCH_fig10.json || {
+        echo "ERROR: failed to write results/BENCH_fig10.json" >&2
+        exit 1
+      }
+      # A truncated or empty record is as bad as a missing one: the
+      # checked-in copy is diffed in review, so fail loudly here
+      # rather than committing garbage downstream.
+      [ -s results/BENCH_fig10.json ] &&
+        grep -q '"cycles_per_sec"' results/BENCH_fig10.json || {
+        echo "ERROR: results/BENCH_fig10.json is empty or truncated" >&2
+        exit 1
+      }
       echo "[json] wrote results/BENCH_fig10.json"
     fi
     echo

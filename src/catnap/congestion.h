@@ -110,7 +110,7 @@ class CongestionState
      * overwrites it with the true OR of the region's LCS bits. Counts as
      * an RCS transition and emits the matching kRcsSet/kRcsClear event.
      */
-    CATNAP_PHASE_WRITE void glitch_rcs_for_fault(int region, SubnetId s,
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE void glitch_rcs_for_fault(int region, SubnetId s,
                                                  Cycle now);
 
     /** Local congestion status of @p node for subnet @p s. */

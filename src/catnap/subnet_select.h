@@ -65,7 +65,7 @@ class SubnetSelector
      * @param now current cycle
      * @return the chosen subnet, or kNoSubnet to wait this cycle
      */
-    CATNAP_PHASE_READ virtual SubnetId
+    CATNAP_SHARD_SAFE CATNAP_PHASE_READ virtual SubnetId
     select(NodeId node, const PacketDesc &pkt,
            const std::vector<bool> &slot_free, int backlog_flits,
            Cycle now) = 0;

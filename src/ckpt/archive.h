@@ -241,7 +241,7 @@ class Reader
     bool exhausted() const { return pos_ == size_; }
 
     /** Throws unless the archive was consumed exactly (no trailing bytes). */
-    CATNAP_PHASE_WRITE void
+    CATNAP_PHASE_READ void
     expect_exhausted() const
     {
         if (pos_ != size_)

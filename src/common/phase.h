@@ -40,6 +40,35 @@
  * READ → WRITE reach through unannotated helpers) and L5 (every
  * member-state mutator reachable from the tick path carries a label)
  * keep the annotation set closed over the call graph.
+ *
+ * The shard-safety contract (rules L6-L8, DESIGN.md §14) adds a third
+ * marker for the *crossings*: functions through which one component
+ * instance legitimately touches another. A future sharded core places
+ * component instances on different shards; every cross-instance effect
+ * must then be either an order-independent mailbox append or a
+ * barrier-serialised entry point. CATNAP_SHARD_SAFE declares which,
+ * by combination with the phase label:
+ *
+ *  - CATNAP_SHARD_SAFE + CATNAP_PHASE_READ: an order-independent
+ *    *mailbox* — peers may call it concurrently during the evaluate
+ *    phase because its only effect is appending to the callee's own
+ *    staging state or latching a monotonic flag/counter
+ *    (`Router::deliver_flit`, `NetMetrics::note_*`,
+ *    `EventSink::on_event`). The sharded core serialises the appends;
+ *    order independence makes the serialisation order irrelevant.
+ *  - CATNAP_SHARD_SAFE + CATNAP_PHASE_WRITE: a *barrier* entry point —
+ *    called only from the serialised commit/policy/checkpoint section
+ *    between parallel evaluate regions (`Router::enter_sleep` from the
+ *    gating policy, the `Serialize`/`Deserialize` checkpoint surface).
+ *    The sharded core must run these single-threaded at the cycle
+ *    barrier.
+ *
+ * Lint rule L7 flags any tick-path cross-instance write that is not
+ * routed through a CATNAP_SHARD_SAFE function; rule L6 checks the
+ * phase labels against each function's *inferred* transitive effects;
+ * the L8 manifest (results/effects.json) freezes the resulting
+ * per-class contract so drift is a reviewed diff. Annotating a base
+ * declaration (`EventSink::on_event`) covers every override.
  */
 #ifndef CATNAP_COMMON_PHASE_H
 #define CATNAP_COMMON_PHASE_H
@@ -49,5 +78,10 @@
 
 /** Marks a function as commit/policy-phase (mutates committed state). */
 #define CATNAP_PHASE_WRITE
+
+/** Marks a declared cross-instance crossing: an order-independent
+ * mailbox (with CATNAP_PHASE_READ) or a barrier-serialised entry point
+ * (with CATNAP_PHASE_WRITE). See the file comment. */
+#define CATNAP_SHARD_SAFE
 
 #endif // CATNAP_COMMON_PHASE_H

@@ -77,7 +77,8 @@ class FaultController final : public WakeFaultModel
                          Cycle now) override;
 
     /** Destination NI saw @p tail eject: ack the source NI's timer. */
-    CATNAP_PHASE_WRITE void note_delivered(const Flit &tail);
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE void
+    note_delivered(const Flit &tail);
 
     const HealthMask &health() const override { return monitor_.mask(); }
 

@@ -35,17 +35,18 @@ class WakeFaultModel
      * the fault model swallows (or defers) the wake; the caller must
      * then NOT call begin_wakeup.
      */
-    CATNAP_PHASE_WRITE virtual bool intercept_wake(Router *router,
-                                                   Cycle now) = 0;
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE virtual bool
+    intercept_wake(Router *router, Cycle now) = 0;
 
     /** A wake exhausted its retry budget: hard-fail the router (and
      * with it, under subnet-granular faults, the whole subnet). */
-    CATNAP_PHASE_WRITE virtual void escalate_wake_failure(Router *router,
-                                                          Cycle now) = 0;
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE virtual void
+    escalate_wake_failure(Router *router, Cycle now) = 0;
 
     /** Observational: the gating layer re-asserted a pending wake. */
-    virtual void note_wake_retry(const Router &router, int retry,
-                                 Cycle backoff, Cycle now) = 0;
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE virtual void
+    note_wake_retry(const Router &router, int retry, Cycle backoff,
+                    Cycle now) = 0;
 
     /** Which subnets are still in service. */
     virtual const HealthMask &health() const = 0;

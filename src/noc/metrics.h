@@ -53,7 +53,7 @@ class NetMetrics
     }
 
     /** A packet was created at a source NI. */
-    CATNAP_PHASE_READ void
+    CATNAP_SHARD_SAFE CATNAP_PHASE_READ void
     note_offered(const Cycle created, int flits)
     {
         ++offered_packets_;
@@ -67,7 +67,7 @@ class NetMetrics
     }
 
     /** A flit entered subnet @p s at a source NI at cycle @p now. */
-    CATNAP_PHASE_READ void
+    CATNAP_SHARD_SAFE CATNAP_PHASE_READ void
     note_injected_flit(SubnetId s, Cycle now)
     {
         ++injected_flits_;
@@ -81,7 +81,7 @@ class NetMetrics
      * loopback flits never touch this counter). Pairs with
      * note_injected_flit() for the flit-conservation invariant.
      */
-    CATNAP_PHASE_READ void
+    CATNAP_SHARD_SAFE CATNAP_PHASE_READ void
     note_ejected_flit(SubnetId s)
     {
         (void)s;
@@ -89,7 +89,7 @@ class NetMetrics
     }
 
     /** A whole packet finished ejecting at its destination NI. */
-    CATNAP_PHASE_READ void
+    CATNAP_SHARD_SAFE CATNAP_PHASE_READ void
     note_ejected_packet(Cycle created, Cycle injected,
                         Cycle now, int flits,
                         int hops)
@@ -111,15 +111,15 @@ class NetMetrics
     // Fault path (src/fault) ----------------------------------------------
 
     /** A source NI re-offered a packet whose flits were purged. */
-    CATNAP_PHASE_READ void note_retransmit() { ++retransmits_; }
+    CATNAP_SHARD_SAFE CATNAP_PHASE_READ void note_retransmit() { ++retransmits_; }
 
     /** A packet was abandoned after exhausting its retransmissions. */
-    CATNAP_PHASE_READ void note_dropped_packet() { ++dropped_packets_; }
+    CATNAP_SHARD_SAFE CATNAP_PHASE_READ void note_dropped_packet() { ++dropped_packets_; }
 
     /** @p n in-network flits were purged by a hard fault. Balances the
      * flit-conservation identity: injected == in_flight + ejected +
      * dropped. */
-    CATNAP_PHASE_READ void note_dropped_flits(std::size_t n)
+    CATNAP_SHARD_SAFE CATNAP_PHASE_READ void note_dropped_flits(std::size_t n)
     {
         dropped_flits_ += static_cast<std::uint64_t>(n);
     }

@@ -136,8 +136,10 @@ class MultiNoc
     /** Current cycle (number of completed ticks). */
     Cycle now() const { return now_; }
 
-    /** Convenience: offer a packet at its source NI. */
-    void
+    /** Convenience: offer a packet at its source NI. A declared
+     * barrier crossing: traffic drivers run in the serialised
+     * commit/drive section and stage packets into the NI's queues. */
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE void
     offer_packet(const PacketDesc &pkt)
     {
         ni(pkt.src).offer_packet(pkt);
@@ -216,7 +218,7 @@ class MultiNoc
      * Folds still-open sleep periods into the CSC counters. Call before
      * reading csc_percent() / activity at the end of a measurement.
      */
-    void
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE void
     finalize_accounting()
     {
         for (auto &subnet : routers_) {

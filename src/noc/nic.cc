@@ -219,7 +219,7 @@ NetworkInterface::stream_slots(Cycle now)
 
         --credits(static_cast<SubnetId>(s), slot.vc);
         rtr->deliver_flit(f, Direction::kLocal, now + 1);
-        rtr->activity().ni_flits += 1;
+        rtr->note_ni_flit();
         if (metrics_)
             metrics_->note_injected_flit(static_cast<SubnetId>(s), now);
         if (sink_)
@@ -261,8 +261,7 @@ NetworkInterface::commit(Cycle now)
                 eject_events_[kept++] = e;
                 continue;
             }
-            routers_[static_cast<std::size_t>(e.subnet)]->activity()
-                .ni_flits += 1;
+            routers_[static_cast<std::size_t>(e.subnet)]->note_ni_flit();
             if (metrics_)
                 metrics_->note_ejected_flit(e.subnet);
             if (sink_)

@@ -86,7 +86,7 @@ class NetworkInterface
      * Packets with dst == src bypass the network through the NI loopback
      * path with a fixed small latency.
      */
-    CATNAP_PHASE_WRITE void offer_packet(const PacketDesc &pkt);
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE void offer_packet(const PacketDesc &pkt);
 
     /** Phase 1: queue refill, subnet selection, flit injection. */
     CATNAP_PHASE_READ void evaluate(Cycle now);
@@ -103,7 +103,7 @@ class NetworkInterface
      * local-port credit/VC mirror. Called by the fault controller for
      * every NI when a subnet fails.
      */
-    CATNAP_PHASE_WRITE void purge_subnet(SubnetId s,
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE void purge_subnet(SubnetId s,
                                          std::vector<Flit> *dropped,
                                          std::vector<PacketDesc> *lost_slot_pkts);
 
@@ -112,10 +112,10 @@ class NetworkInterface
      * were purged. The packet becomes eligible for retransmission after
      * the tuning's retransmit_delay.
      */
-    CATNAP_PHASE_WRITE void note_packet_lost(PacketId id, Cycle now);
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE void note_packet_lost(PacketId id, Cycle now);
 
     /** The destination saw packet @p id's tail eject; stop tracking. */
-    CATNAP_PHASE_WRITE void ack_packet(PacketId id);
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE void ack_packet(PacketId id);
 
     /** Packets this NI is tracking toward delivery (tests). */
     std::size_t outstanding_packets() const { return outstanding_.size(); }
@@ -218,12 +218,12 @@ class NetworkInterface
     {
       public:
         LocalAdapter(NetworkInterface *ni, SubnetId s) : ni_(ni), s_(s) {}
-        CATNAP_PHASE_READ void
+        CATNAP_SHARD_SAFE CATNAP_PHASE_READ void
         return_local_credit(VcId vc, Cycle ready) override
         {
             ni_->credit_events_.push_back({ready, s_, vc});
         }
-        CATNAP_PHASE_READ void
+        CATNAP_SHARD_SAFE CATNAP_PHASE_READ void
         eject_flit(const Flit &flit, Cycle ready) override
         {
             ni_->eject_events_.push_back({ready, s_, flit});
@@ -267,7 +267,7 @@ class NetworkInterface
     CATNAP_PHASE_READ void try_assign_head(Cycle now);
     CATNAP_PHASE_READ void stream_slots(Cycle now);
     CATNAP_PHASE_WRITE void scan_packet_timeouts(Cycle now);
-    void track_packet(const PacketDesc &pkt, Cycle now);
+    CATNAP_PHASE_READ void track_packet(const PacketDesc &pkt, Cycle now);
     int &credits(SubnetId s, VcId vc);
     std::int64_t &vc_owner(SubnetId s, VcId vc);
 

@@ -46,11 +46,15 @@ class LocalPortClient
   public:
     virtual ~LocalPortClient() = default;
 
-    /** A credit for VC @p vc of the local input port, usable at @p ready. */
-    virtual void return_local_credit(VcId vc, Cycle ready) = 0;
+    /** A credit for VC @p vc of the local input port, usable at @p ready.
+     * A declared mailbox crossing: the router appends into the NI's
+     * staging queues during evaluate (order-independent). */
+    CATNAP_SHARD_SAFE CATNAP_PHASE_READ virtual void
+    return_local_credit(VcId vc, Cycle ready) = 0;
 
     /** Flit ejected through the local output port, arriving at @p ready. */
-    virtual void eject_flit(const Flit &flit, Cycle ready) = 0;
+    CATNAP_SHARD_SAFE CATNAP_PHASE_READ virtual void
+    eject_flit(const Flit &flit, Cycle ready) = 0;
 };
 
 /**
@@ -98,25 +102,25 @@ class Router
      * Hands over a flit that will be written into input port @p inport
      * at cycle @p ready. The caller must have checked can_accept_at().
      */
-    CATNAP_PHASE_READ void deliver_flit(const Flit &flit,
+    CATNAP_SHARD_SAFE CATNAP_PHASE_READ void deliver_flit(const Flit &flit,
                                         Direction inport, Cycle ready);
 
     /** Returns a credit for output port @p port, VC @p vc at @p ready. */
-    CATNAP_PHASE_READ void deliver_credit(Direction port, VcId vc,
+    CATNAP_SHARD_SAFE CATNAP_PHASE_READ void deliver_credit(Direction port, VcId vc,
                                           Cycle ready);
 
     /**
      * Look-ahead wake signal (Section 3.3): asks the gating policy to
      * wake this router in the current cycle's policy phase.
      */
-    CATNAP_PHASE_READ void request_wakeup() { wake_requested_ = true; }
+    CATNAP_SHARD_SAFE CATNAP_PHASE_READ void request_wakeup() { wake_requested_ = true; }
 
     /**
      * Announces that a packet head has been committed one hop upstream
      * (or entered the NI's injection slot) and will eventually arrive.
      * Routers with announced packets refuse to sleep.
      */
-    CATNAP_PHASE_READ void note_expected_packet() { ++expected_packets_; }
+    CATNAP_SHARD_SAFE CATNAP_PHASE_READ void note_expected_packet() { ++expected_packets_; }
 
     /** True if the router can receive a flit arriving at @p arrival. */
     bool can_accept_at(Cycle arrival) const;
@@ -131,10 +135,10 @@ class Router
     bool can_accept_port_at(Direction inport, Cycle arrival) const;
 
     /** Announces an inbound packet for @p inport (blocks its sleep). */
-    CATNAP_PHASE_READ void note_expected_packet_at(Direction inport);
+    CATNAP_SHARD_SAFE CATNAP_PHASE_READ void note_expected_packet_at(Direction inport);
 
     /** Look-ahead wake signal addressed to one input port. */
-    CATNAP_PHASE_READ void request_port_wakeup(Direction inport);
+    CATNAP_SHARD_SAFE CATNAP_PHASE_READ void request_port_wakeup(Direction inport);
 
     /** Power state of input port @p inport (Active when not gating). */
     PowerState port_power_state(Direction inport) const;
@@ -143,15 +147,15 @@ class Router
     bool port_can_sleep(Direction inport) const;
 
     /** Puts @p inport to sleep / starts waking it (policy phase). */
-    CATNAP_PHASE_WRITE void port_enter_sleep(Direction inport, Cycle now);
-    CATNAP_PHASE_WRITE void port_begin_wakeup(Direction inport, Cycle now);
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE void port_enter_sleep(Direction inport, Cycle now);
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE void port_begin_wakeup(Direction inport, Cycle now);
 
     /** True if a wake signal arrived for @p inport this cycle. */
     bool port_wake_requested(Direction inport) const;
-    CATNAP_PHASE_WRITE void clear_port_wake_request(Direction inport);
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE void clear_port_wake_request(Direction inport);
 
     /** Accounts one cycle of port power-state residency (all ports). */
-    CATNAP_PHASE_WRITE void account_port_power_cycles();
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE void account_port_power_cycles();
 
     // ------------------------------------------------------------------
     // Power FSM (driven by the gating policy in the policy phase)
@@ -167,7 +171,7 @@ class Router
     bool wake_requested() const { return wake_requested_; }
 
     /** Clears the wake-request flag (policy phase). */
-    CATNAP_PHASE_WRITE void clear_wake_request() { wake_requested_ = false; }
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE void clear_wake_request() { wake_requested_ = false; }
 
     /**
      * True when the router satisfies every structural condition for
@@ -179,15 +183,15 @@ class Router
     bool can_sleep() const;
 
     /** Transitions Active -> Sleep (policy phase). */
-    CATNAP_PHASE_WRITE void enter_sleep(Cycle now);
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE void enter_sleep(Cycle now);
 
     /** Starts Sleep -> Wakeup -> Active; no-op unless sleeping. @p reason
      * is recorded on the emitted trace event only. */
-    CATNAP_PHASE_WRITE void
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE void
     begin_wakeup(Cycle now, WakeReason reason = WakeReason::kLookahead);
 
     /** Accounts one cycle of residency in the current power state. */
-    CATNAP_PHASE_WRITE void account_power_cycle();
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE void account_power_cycle();
 
     // ------------------------------------------------------------------
     // Fault model (src/fault; DESIGN.md §10)
@@ -201,7 +205,7 @@ class Router
      * arm a wake that never completes (wake_done_ = kNoCycle), modelling
      * a wake sequence that hangs until the gating layer escalates.
      */
-    CATNAP_PHASE_WRITE void set_wake_stuck(bool stuck) { wake_stuck_ = stuck; }
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE void set_wake_stuck(bool stuck) { wake_stuck_ = stuck; }
     bool wake_stuck() const { return wake_stuck_; }
 
     /**
@@ -209,7 +213,7 @@ class Router
      * the t_wakeup countdown as if the wake signal were re-asserted.
      * No-op unless the router is in kWakeup.
      */
-    CATNAP_PHASE_WRITE void retry_wakeup(Cycle now);
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE void retry_wakeup(Cycle now);
 
     /**
      * Hard router failure: every buffered and in-flight flit is moved
@@ -219,7 +223,7 @@ class Router
      * flits and accounts its cycles as sleep (a dead router leaks
      * nothing the power model should charge for).
      */
-    CATNAP_PHASE_WRITE void fail(std::vector<Flit> *dropped);
+    CATNAP_SHARD_SAFE CATNAP_PHASE_WRITE void fail(std::vector<Flit> *dropped);
 
     /**
      * Folds an in-progress sleep period into the CSC counter without
@@ -262,8 +266,16 @@ class Router
     /** Activity counters for the power model. */
     const ActivityCounters &activity() const { return activity_; }
 
-    /** Mutable activity counters (NI contributions, resets). */
-    ActivityCounters &activity() { return activity_; }
+    /** Credits one NI-side flit transfer to this router's activity
+     * counters. An order-independent mailbox: the NI bumps its local
+     * routers' monotonic counters during evaluate/commit, so this
+     * replaces direct writes through a mutable activity() accessor
+     * (which rule L7 rejects as an undeclared cross-shard write). */
+    CATNAP_SHARD_SAFE CATNAP_PHASE_READ void
+    note_ni_flit()
+    {
+        activity_.ni_flits += 1;
+    }
 
     /** Node this router serves. */
     NodeId node() const { return node_; }

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 
+#include "common/phase.h"
 #include "common/types.h"
 
 namespace catnap {
@@ -149,8 +150,12 @@ class EventSink
   public:
     virtual ~EventSink() = default;
 
-    /** Consumes one event. Called in deterministic simulation order. */
-    virtual void on_event(const TraceEvent &ev) = 0;
+    /** Consumes one event. Called in deterministic simulation order.
+     * A declared mailbox crossing (rule L7): every component hands
+     * events to the sink during evaluate/commit; the only effect is
+     * an order-independent append to the sink's own buffer. */
+    CATNAP_SHARD_SAFE CATNAP_PHASE_READ virtual void
+    on_event(const TraceEvent &ev) = 0;
 };
 
 } // namespace catnap

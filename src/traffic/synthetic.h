@@ -122,7 +122,7 @@ class SyntheticTraffic
         Cycle until = 0;
     };
 
-    double node_load(NodeId n, Cycle now, double base);
+    CATNAP_PHASE_WRITE double node_load(NodeId n, Cycle now, double base);
 
     MultiNoc *net_;
     SyntheticConfig cfg_;

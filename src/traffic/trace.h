@@ -56,7 +56,8 @@ class TraceRecorder
 {
   public:
     /** Records one packet. Packets must be noted in cycle order. */
-    CATNAP_PHASE_READ void note(Cycle cycle, const PacketDesc &pkt);
+    CATNAP_SHARD_SAFE CATNAP_PHASE_READ void
+    note(Cycle cycle, const PacketDesc &pkt);
 
     /** Serializes the trace (header comment + one line per packet). */
     void write(std::ostream &os) const;

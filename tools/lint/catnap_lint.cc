@@ -1,1194 +1,40 @@
 /**
  * @file
- * catnap_lint: simulator-specific static checks for the Catnap codebase
- * (DESIGN.md §9, §11). Self-contained tokenizer-based pass — no
- * compiler front-end required, so it runs anywhere the simulator
- * builds. Five rule families:
+ * catnap_lint v3 — driver. The analysis itself lives in the library
+ * next to this file:
  *
- *  L1 determinism — simulation results must be bit-identical across
- *     runs and platforms (the golden-trace tests depend on it), so any
- *     wall-clock, libc RNG, std::random engine, or unordered container
- *     (iteration order is unspecified) in simulator code is flagged.
- *     All randomness must flow through common/rng.h.
+ *   lint_source.{h,cc}    tokenization, suppressions, file walking
+ *   lint_graph.{h,cc}     class scopes, members, defs, call sites
+ *   lint_effects.{h,cc}   field-level effect inference (closure)
+ *   lint_rules.{h,cc}     L1-L7 rule implementations
+ *   lint_manifest.{h,cc}  L8 effects manifest (emit + baseline diff)
  *
- *  L2 two-phase discipline — functions annotated CATNAP_PHASE_READ
- *     (evaluate phase: read committed state, queue effects) must not
- *     call functions annotated CATNAP_PHASE_WRITE (commit/policy phase:
- *     apply effects, advance FSMs); such a call is a same-cycle
- *     read-after-write hazard that makes results depend on component
- *     iteration order. Every `evaluate`/`commit` method declaration
- *     must carry one of the annotations (common/phase.h).
- *
- *  L3 counter safety — Cycle is unsigned 64-bit; narrowing a cycle
- *     expression into a small integral type truncates after ~2^31
- *     cycles, and bare `-1` sentinels mixed into signed/unsigned index
- *     arithmetic compare wrongly. Use named sentinels (kInvalidVc,
- *     kNoSubnet) or std::optional instead.
- *
- *  L4 interprocedural two-phase — L2 only sees a direct READ→WRITE
- *     call. L4 builds a name-resolved call graph over all input files
- *     and flags READ functions that reach a WRITE function
- *     *transitively* through unannotated helpers (READ → helper → …
- *     → WRITE). Direct calls stay L2's job so nothing is reported
- *     twice.
- *
- *  L5 phase coverage — an unannotated member function that writes
- *     member state and is reachable from the tick path (any annotated
- *     function, or any `evaluate`/`commit`) is a hole in the two-phase
- *     audit: L2/L4 cannot classify calls to it. It must be annotated
- *     CATNAP_PHASE_READ (order-independent effect queueing) or
- *     CATNAP_PHASE_WRITE (commits state).
- *
- * Suppress a finding with a trailing comment on the same line, or with
- * a standalone allow comment on the line above:
- *     foo();  // catnap-lint: allow(L1)
- *     // catnap-lint: allow(L3)
- *     bar();
- *
- * Usage:
- *     catnap_lint [--rules L1,L2,L3,L4,L5] [--expect RULE]
- *                 [--sarif PATH] <files-or-dirs>...
- *
- * Directories are walked recursively (sub-directories named `fixtures`
- * are skipped — they hold deliberately-broken lint inputs). With
- * --sarif PATH a SARIF 2.1.0 log is written (even when clean) for
- * GitHub code scanning.
- *
- * Host-side allowlist: files under `src/exec/` implement the batch
- * execution engine, which orchestrates whole simulations from outside
- * the tick loop and never mutates simulation state. For those files the
- * L1 *wall-clock* bans are lifted (job timeouts and exec.* trace
- * timestamps legitimately read the host's monotonic clock) — the RNG
- * and unordered-container bans remain — and their functions are
- * excluded from the L4/L5 tick-path call graph (they are not phase
- * functions; name collisions like `submit`/`execute` must not alias
- * them into it). Simulation determinism is unaffected: host time never
- * flows into results, which tests/test_exec.cc pins bit-exactly.
- *
- * Exit status: 0 clean, 1 violations found, 2 usage/IO error. With
- * --expect RULE the meaning inverts for fixtures: exit 0 iff at least
- * one violation of RULE was found (used by the ctest fixture tests).
- *
- * Known limitations (tokenizer, not a compiler): raw string literals
- * and macro-generated code are not understood; call resolution is
- * name-based with a class qualifier where one is visible, so virtual
- * dispatch and same-named methods of unrelated classes are merged
- * conservatively.
+ * The driver parses flags, runs the pipeline (tokenize -> call graph
+ * -> effects -> rules), reports violations, and optionally emits SARIF
+ * and the effects manifest. Exit codes: 0 clean, 1 violations found,
+ * 2 usage or IO error. `--expect RULE` inverts: exit 0 iff at least
+ * one violation of RULE was found (fixture tests).
  */
 #include <algorithm>
-#include <cctype>
-#include <cstdint>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
-#include <map>
-#include <set>
 #include <sstream>
 #include <string>
-#include <tuple>
-#include <utility>
 #include <vector>
 
 #include "common/sarif.h"
+#include "lint_effects.h"
+#include "lint_graph.h"
+#include "lint_manifest.h"
+#include "lint_rules.h"
+#include "lint_source.h"
 
 namespace {
 
-struct Token
-{
-    std::string text;
-    int line;
-};
-
-struct Violation
-{
-    std::string file;
-    int line;
-    std::string rule; // "L1" .. "L5"
-    std::string message;
-};
-
-struct SourceFile
-{
-    std::string path;
-    std::vector<Token> tokens;
-    std::map<int, std::set<std::string>> allowed; // line -> rule ids
-};
-
-/** Function names collected from CATNAP_PHASE_* annotations (L2's
- * name-level view; L4/L5 use the class-qualified PhaseAnnot list). */
-struct PhaseTable
-{
-    std::set<std::string> read_fns;
-    std::set<std::string> write_fns;
-};
-
-/**
- * True for files on the host-side allowlist (see the file comment):
- * the execution engine under src/exec/ runs around the simulation, not
- * inside the tick loop, so the wall-clock bans and the tick-path call
- * graph do not apply to it.
- */
-bool
-is_host_side(const std::string &path)
-{
-    return path.find("src/exec/") != std::string::npos;
-}
-
-bool
-is_ident_char(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-bool
-is_ident_start(char c)
-{
-    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/**
- * Records `// catnap-lint: allow(L1,L3)` style suppressions found in
- * @p line_text (searched before comment stripping). A trailing allow
- * suppresses findings on its own line; an allow comment standing alone
- * on a line suppresses findings on the *next* line.
- */
-void
-collect_allows(const std::string &line_text, int line,
-               std::map<int, std::set<std::string>> &allowed)
-{
-    const std::string marker = "catnap-lint: allow(";
-    const auto pos = line_text.find(marker);
-    if (pos == std::string::npos)
-        return;
-    const auto open = pos + marker.size();
-    const auto close = line_text.find(')', open);
-    if (close == std::string::npos)
-        return;
-
-    // Standalone comment line (only whitespace before the `//`)?
-    const auto slashes = line_text.rfind("//", pos);
-    bool standalone = false;
-    if (slashes != std::string::npos) {
-        standalone = true;
-        for (std::size_t i = 0; i < slashes; ++i) {
-            if (!std::isspace(static_cast<unsigned char>(line_text[i]))) {
-                standalone = false;
-                break;
-            }
-        }
-    }
-    const int target = standalone ? line + 1 : line;
-
-    std::string rules = line_text.substr(open, close - open);
-    std::string rule;
-    std::istringstream rs(rules);
-    while (std::getline(rs, rule, ',')) {
-        rule.erase(std::remove_if(rule.begin(), rule.end(), ::isspace),
-                   rule.end());
-        if (!rule.empty())
-            allowed[target].insert(rule);
-    }
-}
-
-/**
- * Replaces comments and string/char literal contents with spaces while
- * preserving line structure, then tokenizes. Two-character operators
- * that the rules care about (::, ->, ==, !=, <=, >=, &&, ||, <<, the
- * compound assignments and ++/--) are kept as single tokens. `>>` is
- * deliberately NOT merged so template closers stay matchable.
- */
-std::vector<Token>
-tokenize(const std::string &text)
-{
-    std::string clean = text;
-    enum class State { kCode, kLine, kBlock, kString, kChar };
-    State st = State::kCode;
-    for (std::size_t i = 0; i < clean.size(); ++i) {
-        const char c = clean[i];
-        const char n = i + 1 < clean.size() ? clean[i + 1] : '\0';
-        switch (st) {
-          case State::kCode:
-            if (c == '/' && n == '/') {
-                st = State::kLine;
-                clean[i] = ' ';
-            } else if (c == '/' && n == '*') {
-                st = State::kBlock;
-                clean[i] = ' ';
-            } else if (c == '"') {
-                st = State::kString;
-            } else if (c == '\'') {
-                st = State::kChar;
-            }
-            break;
-          case State::kLine:
-            if (c == '\n')
-                st = State::kCode;
-            else
-                clean[i] = ' ';
-            break;
-          case State::kBlock:
-            if (c == '*' && n == '/') {
-                clean[i] = ' ';
-                clean[i + 1] = ' ';
-                ++i;
-                st = State::kCode;
-            } else if (c != '\n') {
-                clean[i] = ' ';
-            }
-            break;
-          case State::kString:
-          case State::kChar: {
-            const char quote = st == State::kString ? '"' : '\'';
-            if (c == '\\') {
-                clean[i] = ' ';
-                if (n != '\n' && i + 1 < clean.size())
-                    clean[i + 1] = ' ';
-                ++i;
-            } else if (c == quote) {
-                st = State::kCode;
-            } else if (c != '\n') {
-                clean[i] = ' ';
-            }
-            break;
-          }
-        }
-    }
-
-    static const std::set<std::string> kTwoCharOps = {
-        "::", "->", "==", "!=", "<=", ">=", "&&", "||", "<<",
-        "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
-    };
-
-    std::vector<Token> tokens;
-    int line = 1;
-    for (std::size_t i = 0; i < clean.size();) {
-        const char c = clean[i];
-        if (c == '\n') {
-            ++line;
-            ++i;
-            continue;
-        }
-        if (std::isspace(static_cast<unsigned char>(c))) {
-            ++i;
-            continue;
-        }
-        if (is_ident_start(c)) {
-            std::size_t j = i;
-            while (j < clean.size() && is_ident_char(clean[j]))
-                ++j;
-            tokens.push_back({clean.substr(i, j - i), line});
-            i = j;
-            continue;
-        }
-        if (std::isdigit(static_cast<unsigned char>(c))) {
-            std::size_t j = i;
-            while (j < clean.size() &&
-                   (is_ident_char(clean[j]) || clean[j] == '.'))
-                ++j;
-            tokens.push_back({clean.substr(i, j - i), line});
-            i = j;
-            continue;
-        }
-        if (i + 1 < clean.size() &&
-            kTwoCharOps.count(clean.substr(i, 2)) > 0) {
-            tokens.push_back({clean.substr(i, 2), line});
-            i += 2;
-            continue;
-        }
-        tokens.push_back({std::string(1, c), line});
-        ++i;
-    }
-    return tokens;
-}
-
-bool
-load_file(const std::string &path, SourceFile &out)
-{
-    std::ifstream in(path);
-    if (!in)
-        return false;
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    const std::string text = ss.str();
-
-    out.path = path;
-    std::istringstream ls(text);
-    std::string line_text;
-    int line = 1;
-    while (std::getline(ls, line_text)) {
-        collect_allows(line_text, line, out.allowed);
-        ++line;
-    }
-    out.tokens = tokenize(text);
-    return true;
-}
-
-bool
-suppressed(const SourceFile &f, int line, const std::string &rule)
-{
-    const auto it = f.allowed.find(line);
-    return it != f.allowed.end() && it->second.count(rule) > 0;
-}
-
-void
-add_violation(std::vector<Violation> &out, const SourceFile &f, int line,
-              const std::string &rule, const std::string &msg)
-{
-    if (!suppressed(f, line, rule))
-        out.push_back({f.path, line, rule, msg});
-}
-
-/** Index of the matching closer for the opener at @p open, or npos. */
-std::size_t
-match_forward(const std::vector<Token> &t, std::size_t open,
-              const std::string &opener, const std::string &closer)
-{
-    int depth = 0;
-    for (std::size_t i = open; i < t.size(); ++i) {
-        if (t[i].text == opener)
-            ++depth;
-        else if (t[i].text == closer && --depth == 0)
-            return i;
-    }
-    return std::string::npos;
-}
-
-// --------------------------------------------------------------------
-// Structural view: class scopes, function definitions, call sites
-// (shared by L4 and L5; L1-L3 stay purely token-local).
-// --------------------------------------------------------------------
-
-/** One `class`/`struct` body brace range. */
-struct ClassScope
-{
-    std::size_t open;  ///< index of the body `{`
-    std::size_t close; ///< index of the matching `}`
-    std::string name;
-};
-
-/** One call site inside a function body. */
-struct CallSite
-{
-    std::string name;
-    std::string cls_hint;      ///< explicit `Cls::` qualifier, if any
-    bool via_receiver = false; ///< `obj.name(..)` / `ptr->name(..)`
-    int line = 0;
-};
-
-/** One function definition (a name with a parsed body). */
-struct FunctionDef
-{
-    std::string name;
-    std::string cls; ///< enclosing/qualifying class; "" for free fns
-    int file = -1;   ///< index into the sources vector
-    int line = 0;
-    int phase = 0; ///< 0 none, 1 READ, 2 WRITE (resolved from annots)
-    bool writes_members = false;
-    std::vector<CallSite> calls;
-};
-
-/** One CATNAP_PHASE_* marker with its class context. */
-struct PhaseAnnot
-{
-    std::string name;
-    std::string cls;
-    int phase; ///< 1 READ, 2 WRITE
-};
-
-/** Whole-input call-graph data. */
-struct Program
-{
-    std::vector<FunctionDef> defs;
-    std::vector<PhaseAnnot> annots;
-    std::map<std::string, std::vector<int>> defs_by_name;
-    std::map<std::pair<std::string, std::string>, std::vector<int>>
-        defs_by_cls; ///< (cls, name) -> def indices
-    std::set<std::string> class_names;
-};
-
-/** Tokens that look like `name(` but are never calls or definitions. */
-const std::set<std::string> &
-non_call_keywords()
-{
-    static const std::set<std::string> kw = {
-        "if",       "for",      "while",    "switch",     "catch",
-        "return",   "sizeof",   "alignof",  "decltype",   "typeid",
-        "noexcept", "new",      "delete",   "throw",      "operator",
-        "constexpr", "alignas", "defined",  "static_assert",
-        "assert",
-    };
-    return kw;
-}
-
-/** Collects the `class`/`struct` body brace ranges of @p t. */
-std::vector<ClassScope>
-collect_class_scopes(const std::vector<Token> &t)
-{
-    constexpr auto npos = std::string::npos;
-    std::vector<ClassScope> scopes;
-    for (std::size_t i = 0; i < t.size(); ++i) {
-        if (t[i].text == "template" && i + 1 < t.size() &&
-            t[i + 1].text == "<") {
-            const std::size_t close = match_forward(t, i + 1, "<", ">");
-            if (close != npos)
-                i = close;
-            continue;
-        }
-        if (t[i].text != "class" && t[i].text != "struct")
-            continue;
-        if (i > 0 &&
-            (t[i - 1].text == "enum" || t[i - 1].text == "friend"))
-            continue;
-        if (i + 1 >= t.size() || !is_ident_start(t[i + 1].text[0]))
-            continue;
-        const std::string name = t[i + 1].text;
-        // Walk the head (base list etc.) to the body `{`; a `;` is a
-        // forward declaration, a `(` an elaborated type in a decl.
-        std::size_t k = i + 2;
-        while (k < t.size() && t[k].text != "{" && t[k].text != ";" &&
-               t[k].text != "(")
-            ++k;
-        if (k >= t.size() || t[k].text != "{")
-            continue;
-        const std::size_t close = match_forward(t, k, "{", "}");
-        if (close == npos)
-            continue;
-        scopes.push_back({k, close, name});
-    }
-    return scopes;
-}
-
-/** Name of the innermost class body containing token @p idx, or "". */
-std::string
-enclosing_class(const std::vector<ClassScope> &scopes, std::size_t idx)
-{
-    std::string best;
-    std::size_t best_span = std::string::npos;
-    for (const ClassScope &s : scopes) {
-        if (idx > s.open && idx < s.close &&
-            s.close - s.open < best_span) {
-            best = s.name;
-            best_span = s.close - s.open;
-        }
-    }
-    return best;
-}
-
-/**
- * Finds the body of the function definition whose name token is at
- * @p name_idx; returns {body_open, body_close} brace indices or npos.
- * Handles cv/ref/noexcept/override/final qualifiers, trailing return
- * types, and constructor initializer lists (paren and brace form);
- * rejects declarations, `= default`, `= delete`, and pure virtuals.
- */
-std::pair<std::size_t, std::size_t>
-find_body(const std::vector<Token> &t, std::size_t name_idx)
-{
-    constexpr auto npos = std::string::npos;
-    if (name_idx + 1 >= t.size() || t[name_idx + 1].text != "(")
-        return {npos, npos};
-    const std::size_t params_end =
-        match_forward(t, name_idx + 1, "(", ")");
-    if (params_end == npos)
-        return {npos, npos};
-
-    std::size_t k = params_end + 1;
-    while (k < t.size()) {
-        const std::string &s = t[k].text;
-        if (s == "const" || s == "override" || s == "final" ||
-            s == "&" || s == "&&") {
-            ++k;
-            continue;
-        }
-        if (s == "noexcept") {
-            ++k;
-            if (k < t.size() && t[k].text == "(") {
-                const std::size_t c = match_forward(t, k, "(", ")");
-                if (c == npos)
-                    return {npos, npos};
-                k = c + 1;
-            }
-            continue;
-        }
-        if (s == "->") { // trailing return type
-            ++k;
-            while (k < t.size() && t[k].text != "{" &&
-                   t[k].text != ";" && t[k].text != "=")
-                ++k;
-            continue;
-        }
-        break;
-    }
-    if (k >= t.size())
-        return {npos, npos};
-
-    if (t[k].text == ":") { // constructor initializer list
-        ++k;
-        while (k < t.size()) {
-            while (k < t.size() && (is_ident_start(t[k].text[0]) ||
-                                    t[k].text == "::"))
-                ++k;
-            if (k < t.size() && t[k].text == "<") {
-                const std::size_t c = match_forward(t, k, "<", ">");
-                if (c == npos)
-                    return {npos, npos};
-                k = c + 1;
-            }
-            if (k >= t.size())
-                return {npos, npos};
-            if (t[k].text == "(") {
-                const std::size_t c = match_forward(t, k, "(", ")");
-                if (c == npos)
-                    return {npos, npos};
-                k = c + 1;
-            } else if (t[k].text == "{") {
-                const std::size_t c = match_forward(t, k, "{", "}");
-                if (c == npos)
-                    return {npos, npos};
-                k = c + 1;
-            } else {
-                return {npos, npos};
-            }
-            if (k < t.size() && t[k].text == ",") {
-                ++k;
-                continue;
-            }
-            break;
-        }
-    }
-
-    if (k >= t.size() || t[k].text != "{")
-        return {npos, npos};
-    const std::size_t body_end = match_forward(t, k, "{", "}");
-    if (body_end == npos)
-        return {npos, npos};
-    return {k, body_end};
-}
-
-/** True for a member-variable-looking identifier (`foo_` style). */
-bool
-is_member_ident(const std::string &s)
-{
-    return s.size() > 1 && s.back() == '_' && is_ident_start(s[0]);
-}
-
-/**
- * Scans a body range for member writes and call sites. A member write
- * is a `foo_`-style identifier — possibly through `[...]`/`.x`/`->x`
- * chains — hit by an assignment, compound assignment, ++/--, or a
- * mutating container method.
- */
-void
-scan_body(const std::vector<Token> &t, std::size_t body_open,
-          std::size_t body_close, FunctionDef &d)
-{
-    constexpr auto npos = std::string::npos;
-    static const std::set<std::string> kAssignOps = {
-        "=",  "+=", "-=", "*=", "/=", "%=",
-        "&=", "|=", "^=", "++", "--",
-    };
-    static const std::set<std::string> kMutMethods = {
-        "push_back", "pop_back",  "clear",        "resize",
-        "assign",    "insert",    "erase",        "emplace_back",
-        "emplace",   "reserve",   "fill",         "push",
-        "pop",       "push_front", "pop_front",   "reset",
-    };
-
-    for (std::size_t i = body_open + 1; i < body_close; ++i) {
-        const std::string &id = t[i].text;
-
-        // Prefix increment/decrement of a member.
-        if ((id == "++" || id == "--") && i + 1 < body_close &&
-            is_member_ident(t[i + 1].text)) {
-            d.writes_members = true;
-            continue;
-        }
-
-        if (!is_ident_start(id[0]))
-            continue;
-
-        // Call site?
-        if (i + 1 < body_close && t[i + 1].text == "(" &&
-            non_call_keywords().count(id) == 0) {
-            CallSite cs;
-            cs.name = id;
-            cs.line = t[i].line;
-            if (i >= 2 && t[i - 1].text == "::" &&
-                is_ident_start(t[i - 2].text[0]))
-                cs.cls_hint = t[i - 2].text;
-            else if (i >= 1 &&
-                     (t[i - 1].text == "." || t[i - 1].text == "->"))
-                cs.via_receiver = true;
-            d.calls.push_back(std::move(cs));
-        }
-
-        // Member write?
-        if (!is_member_ident(id))
-            continue;
-        std::size_t k = i + 1;
-        bool wrote = false;
-        while (k < body_close) {
-            if (t[k].text == "[") {
-                const std::size_t c = match_forward(t, k, "[", "]");
-                if (c == npos || c >= body_close)
-                    break;
-                k = c + 1;
-            } else if ((t[k].text == "." || t[k].text == "->") &&
-                       k + 1 < body_close &&
-                       is_ident_start(t[k + 1].text[0])) {
-                if (k + 2 < body_close && t[k + 2].text == "(") {
-                    wrote = kMutMethods.count(t[k + 1].text) > 0;
-                    k = body_close; // method call ends the chain
-                    break;
-                }
-                k += 2;
-            } else {
-                break;
-            }
-        }
-        if (wrote || (k < body_close && kAssignOps.count(t[k].text) > 0))
-            d.writes_members = true;
-    }
-}
-
-/**
- * Collects class-qualified CATNAP_PHASE_* annotations: the identifier
- * immediately preceding the next '(' after the marker, with either its
- * explicit `Cls::` qualifier or the enclosing class scope. Also feeds
- * L2's name-level PhaseTable.
- */
-void
-collect_phase_annotations(const SourceFile &f,
-                          const std::vector<ClassScope> &scopes,
-                          std::vector<PhaseAnnot> &annots,
-                          PhaseTable &table)
-{
-    const auto &t = f.tokens;
-    for (std::size_t i = 0; i < t.size(); ++i) {
-        const bool is_read = t[i].text == "CATNAP_PHASE_READ";
-        const bool is_write = t[i].text == "CATNAP_PHASE_WRITE";
-        if (!is_read && !is_write)
-            continue;
-        for (std::size_t j = i + 1; j + 1 < t.size() && j < i + 16; ++j) {
-            if (t[j + 1].text == "(" && is_ident_start(t[j].text[0]) &&
-                non_call_keywords().count(t[j].text) == 0) {
-                PhaseAnnot a;
-                a.name = t[j].text;
-                a.phase = is_read ? 1 : 2;
-                if (j >= 2 && t[j - 1].text == "::" &&
-                    is_ident_start(t[j - 2].text[0]))
-                    a.cls = t[j - 2].text;
-                else
-                    a.cls = enclosing_class(scopes, j);
-                (is_read ? table.read_fns : table.write_fns)
-                    .insert(a.name);
-                annots.push_back(std::move(a));
-                break;
-            }
-        }
-    }
-}
-
-/** Collects every function definition (with body) in @p f. */
-void
-collect_defs(int file_idx, const SourceFile &f,
-             const std::vector<ClassScope> &scopes, Program &prog)
-{
-    constexpr auto npos = std::string::npos;
-    const auto &t = f.tokens;
-    for (const ClassScope &s : scopes)
-        prog.class_names.insert(s.name);
-
-    for (std::size_t i = 0; i < t.size(); ++i) {
-        if (!is_ident_start(t[i].text[0]))
-            continue;
-        if (i + 1 >= t.size() || t[i + 1].text != "(")
-            continue;
-        if (non_call_keywords().count(t[i].text) > 0)
-            continue;
-        // `obj.name(..)` / `ptr->name(..)` are always calls.
-        if (i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->"))
-            continue;
-        const auto [body_open, body_close] = find_body(t, i);
-        if (body_open == npos)
-            continue;
-
-        FunctionDef d;
-        d.name = t[i].text;
-        d.file = file_idx;
-        d.line = t[i].line;
-        if (i >= 2 && t[i - 1].text == "::" &&
-            is_ident_start(t[i - 2].text[0]))
-            d.cls = t[i - 2].text;
-        else
-            d.cls = enclosing_class(scopes, i);
-        scan_body(t, body_open, body_close, d);
-
-        const auto id = static_cast<int>(prog.defs.size());
-        prog.defs_by_name[d.name].push_back(id);
-        prog.defs_by_cls[{d.cls, d.name}].push_back(id);
-        prog.defs.push_back(std::move(d));
-        i = body_open; // keep scanning inside for nested definitions
-    }
-}
-
-/**
- * Resolves a definition's phase from the annotation list: an exact
- * (class, name) annotation wins; otherwise a name-level annotation
- * applies only when every annotation of that name agrees.
- */
-int
-resolve_phase(const Program &prog, const FunctionDef &d)
-{
-    int name_phase = 0;
-    bool name_mixed = false;
-    for (const PhaseAnnot &a : prog.annots) {
-        if (a.name != d.name)
-            continue;
-        if (a.cls == d.cls)
-            return a.phase;
-        if (name_phase == 0)
-            name_phase = a.phase;
-        else if (name_phase != a.phase)
-            name_mixed = true;
-    }
-    return name_mixed ? 0 : name_phase;
-}
-
-/**
- * Resolves a call site to candidate definitions. Preference order:
- * explicit `Cls::` qualifier; the caller's own class for bare calls;
- * any member definition for receiver calls; any definition by name
- * otherwise (namespace qualifiers fall through to name level).
- */
-std::vector<int>
-resolve_call(const Program &prog, const FunctionDef &caller,
-             const CallSite &cs)
-{
-    if (!cs.cls_hint.empty()) {
-        const auto it = prog.defs_by_cls.find({cs.cls_hint, cs.name});
-        if (it != prog.defs_by_cls.end())
-            return it->second;
-        if (prog.class_names.count(cs.cls_hint) > 0)
-            return {}; // known class, no such member in the input set
-        // Namespace qualifier: fall through to name-level lookup.
-    } else if (!cs.via_receiver && !caller.cls.empty()) {
-        const auto it = prog.defs_by_cls.find({caller.cls, cs.name});
-        if (it != prog.defs_by_cls.end())
-            return it->second;
-    }
-    const auto it = prog.defs_by_name.find(cs.name);
-    if (it == prog.defs_by_name.end())
-        return {};
-    if (!cs.via_receiver)
-        return it->second;
-    std::vector<int> members;
-    for (const int id : it->second)
-        if (!prog.defs[static_cast<std::size_t>(id)].cls.empty())
-            members.push_back(id);
-    return members;
-}
-
-/** Phase of a call by name alone (annotation-level; for calls with no
- * definition in the input set). 0 when unknown or mixed. */
-int
-annot_phase_of_name(const Program &prog, const std::string &name)
-{
-    int phase = 0;
-    for (const PhaseAnnot &a : prog.annots) {
-        if (a.name != name)
-            continue;
-        if (phase == 0)
-            phase = a.phase;
-        else if (phase != a.phase)
-            return 0;
-    }
-    return phase;
-}
-
-// --------------------------------------------------------------------
-// L1: determinism
-// --------------------------------------------------------------------
-
-void
-check_l1(const SourceFile &f, std::vector<Violation> &out)
-{
-    static const std::set<std::string> kBannedRngIdents = {
-        "rand", "srand", "rand_r", "drand48", "lrand48", "random",
-        "random_shuffle", "random_device", "mt19937", "mt19937_64",
-        "default_random_engine", "minstd_rand", "minstd_rand0", "knuth_b",
-        "ranlux24", "ranlux48",
-    };
-    static const std::set<std::string> kBannedClockIdents = {
-        "system_clock", "steady_clock", "high_resolution_clock",
-        "gettimeofday", "clock_gettime",
-    };
-    static const std::set<std::string> kBannedCalls = {"time", "clock"};
-    // Host-side files may read the host clock (timeouts, exec.* trace
-    // timestamps); the RNG and unordered-container bans still apply.
-    const bool clocks_allowed = is_host_side(f.path);
-    static const std::set<std::string> kUnordered = {
-        "unordered_map", "unordered_set", "unordered_multimap",
-        "unordered_multiset",
-    };
-
-    const auto &t = f.tokens;
-    for (std::size_t i = 0; i < t.size(); ++i) {
-        const std::string &id = t[i].text;
-        if (!is_ident_start(id[0]))
-            continue;
-        if (kBannedRngIdents.count(id) > 0 ||
-            (!clocks_allowed && kBannedClockIdents.count(id) > 0)) {
-            add_violation(out, f, t[i].line, "L1",
-                          "nondeterministic source '" + id +
-                              "': all randomness/time must flow through"
-                              " common/rng.h and the Cycle clock");
-        } else if (!clocks_allowed && kBannedCalls.count(id) > 0 &&
-                   i + 1 < t.size() &&
-                   t[i + 1].text == "(" &&
-                   (i == 0 || (t[i - 1].text != "." &&
-                               t[i - 1].text != "->" &&
-                               t[i - 1].text != "::"))) {
-            add_violation(out, f, t[i].line, "L1",
-                          "wall-clock call '" + id +
-                              "()': simulation time is the Cycle"
-                              " counter, not host time");
-        } else if (kUnordered.count(id) > 0) {
-            add_violation(
-                out, f, t[i].line, "L1",
-                "unordered container '" + id +
-                    "': iteration order is unspecified and leaks"
-                    " nondeterminism into simulation state/events; use"
-                    " std::map, std::vector, or suppress with"
-                    " // catnap-lint: allow(L1) if provably unordered");
-        }
-    }
-}
-
-// --------------------------------------------------------------------
-// L2: two-phase discipline (direct calls)
-// --------------------------------------------------------------------
-
-void
-check_l2(const SourceFile &f, const PhaseTable &table,
-         std::vector<Violation> &out)
-{
-    const auto &t = f.tokens;
-    constexpr auto npos = std::string::npos;
-
-    // Rule a: every evaluate/commit declaration carries an annotation.
-    for (std::size_t i = 1; i < t.size(); ++i) {
-        if ((t[i].text != "evaluate" && t[i].text != "commit") ||
-            i + 1 >= t.size() || t[i + 1].text != "(")
-            continue;
-        if (t[i - 1].text != "void")
-            continue; // call or qualified definition, not a declaration
-        const bool annotated =
-            i >= 2 && (t[i - 2].text == "CATNAP_PHASE_READ" ||
-                       t[i - 2].text == "CATNAP_PHASE_WRITE");
-        if (!annotated) {
-            add_violation(out, f, t[i].line, "L2",
-                          "phase method '" + t[i].text +
-                              "' lacks a CATNAP_PHASE_READ/WRITE"
-                              " annotation (common/phase.h)");
-        }
-    }
-
-    // Rule b: read-phase function bodies never call write-phase
-    // functions (same-cycle read-after-write hazard).
-    for (std::size_t i = 0; i < t.size(); ++i) {
-        if (table.read_fns.count(t[i].text) == 0)
-            continue;
-        // A definition is either qualified (Class::name) or an inline
-        // body directly after the annotated declaration.
-        const bool qualified = i >= 1 && t[i - 1].text == "::";
-        const auto [body_open, body_close] = find_body(t, i);
-        if (body_open == npos)
-            continue;
-        if (!qualified && i >= 1 && t[i - 1].text != "void" &&
-            !is_ident_start(t[i - 1].text[0]))
-            continue; // e.g. a call used as an expression statement
-        for (std::size_t k = body_open + 1; k < body_close; ++k) {
-            if (table.write_fns.count(t[k].text) == 0 ||
-                k + 1 >= t.size() || t[k + 1].text != "(")
-                continue;
-            add_violation(out, f, t[k].line, "L2",
-                          "read-phase function '" + t[i].text +
-                              "' calls write-phase function '" +
-                              t[k].text +
-                              "': same-cycle read-after-write hazard"
-                              " (two-phase discipline)");
-        }
-        i = body_close;
-    }
-}
-
-// --------------------------------------------------------------------
-// L3: counter safety
-// --------------------------------------------------------------------
-
-/** True for identifiers that (by convention) hold Cycle values. */
-bool
-is_cycleish(const std::string &raw)
-{
-    std::string id = raw;
-    while (!id.empty() && id.back() == '_')
-        id.pop_back();
-    static const std::set<std::string> kExact = {
-        "now",  "ready",       "wake_done", "sleep_start",
-        "head_since", "created", "injected",  "cycle", "cycles",
-    };
-    if (kExact.count(id) > 0)
-        return true;
-    auto ends_with = [&id](const char *suffix) {
-        const std::string s(suffix);
-        return id.size() > s.size() &&
-               id.compare(id.size() - s.size(), s.size(), s) == 0;
-    };
-    return ends_with("_cycle") || ends_with("_cycles") ||
-           ends_with("_done") || ends_with("_since");
-}
-
-void
-check_l3(const SourceFile &f, std::vector<Violation> &out)
-{
-    static const std::set<std::string> kNarrowTypes = {
-        "int",     "short",   "unsigned", "char",     "int8_t",
-        "int16_t", "int32_t", "uint8_t",  "uint16_t", "uint32_t",
-    };
-    const auto &t = f.tokens;
-    constexpr auto npos = std::string::npos;
-
-    for (std::size_t i = 0; i < t.size(); ++i) {
-        // Rule a: static_cast<small-int>(cycle expression).
-        if (t[i].text == "static_cast" && i + 1 < t.size() &&
-            t[i + 1].text == "<") {
-            const std::size_t close = match_forward(t, i + 1, "<", ">");
-            if (close == npos || close + 1 >= t.size() ||
-                t[close + 1].text != "(")
-                continue;
-            // The cast's target type is narrow iff its last identifier
-            // names a sub-64-bit integral type.
-            std::string last_type_ident;
-            for (std::size_t k = i + 2; k < close; ++k)
-                if (is_ident_start(t[k].text[0]))
-                    last_type_ident = t[k].text;
-            if (kNarrowTypes.count(last_type_ident) == 0)
-                continue;
-            const std::size_t expr_end =
-                match_forward(t, close + 1, "(", ")");
-            if (expr_end == npos)
-                continue;
-            for (std::size_t k = close + 2; k < expr_end; ++k) {
-                if (is_ident_start(t[k].text[0]) &&
-                    is_cycleish(t[k].text)) {
-                    add_violation(
-                        out, f, t[k].line, "L3",
-                        "narrowing cast of cycle expression '" +
-                            t[k].text + "' to " + last_type_ident +
-                            ": Cycle is 64-bit and truncates after"
-                            " ~2^31 cycles");
-                    break;
-                }
-            }
-        }
-        // Rule b: bare -1 sentinel in returns/comparisons.
-        if (t[i].text == "-" && i + 1 < t.size() &&
-            t[i + 1].text == "1" && i >= 1) {
-            const std::string &prev = t[i - 1].text;
-            if (prev == "return" || prev == "==" || prev == "!=") {
-                add_violation(
-                    out, f, t[i].line, "L3",
-                    "bare -1 sentinel: use a named constant"
-                    " (kInvalidVc, kNoSubnet, kInvalidNode) or"
-                    " std::optional so signed/unsigned index mixing"
-                    " cannot occur");
-            }
-        }
-    }
-}
-
-// --------------------------------------------------------------------
-// L4: interprocedural two-phase (READ must not transitively reach
-// WRITE through unannotated helpers)
-// --------------------------------------------------------------------
-
-/** Memoised "reaches a WRITE through phase-none defs" computation. */
-struct ReachWrite
-{
-    enum State : std::uint8_t { kUnvisited, kInProgress, kNo, kYes };
-    State state = kUnvisited;
-    std::string leaf;         ///< name of the WRITE finally reached
-    std::string via;          ///< next hop's display name
-};
-
-bool
-def_reaches_write(const Program &prog, int di,
-                  std::vector<ReachWrite> &memo)
-{
-    auto &m = memo[static_cast<std::size_t>(di)];
-    if (m.state == ReachWrite::kYes)
-        return true;
-    if (m.state == ReachWrite::kNo || m.state == ReachWrite::kInProgress)
-        return false; // cycles cannot create new write reachability
-    m.state = ReachWrite::kInProgress;
-
-    const FunctionDef &d = prog.defs[static_cast<std::size_t>(di)];
-    for (const CallSite &cs : d.calls) {
-        const std::vector<int> targets = resolve_call(prog, d, cs);
-        bool any_def_write = false;
-        for (const int ti : targets) {
-            if (prog.defs[static_cast<std::size_t>(ti)].phase == 2) {
-                any_def_write = true;
-                break;
-            }
-        }
-        if (any_def_write ||
-            (targets.empty() &&
-             annot_phase_of_name(prog, cs.name) == 2)) {
-            m.state = ReachWrite::kYes;
-            m.leaf = cs.name;
-            m.via.clear();
-            return true;
-        }
-        for (const int ti : targets) {
-            const FunctionDef &td =
-                prog.defs[static_cast<std::size_t>(ti)];
-            if (td.phase != 0)
-                continue; // READ targets are their own L4 roots
-            if (def_reaches_write(prog, ti, memo)) {
-                m.state = ReachWrite::kYes;
-                m.leaf = memo[static_cast<std::size_t>(ti)].leaf;
-                m.via = (td.cls.empty() ? td.name
-                                        : td.cls + "::" + td.name);
-                return true;
-            }
-        }
-    }
-    m.state = ReachWrite::kNo;
-    return false;
-}
-
-void
-check_l4(const Program &prog, const std::vector<SourceFile> &sources,
-         std::vector<Violation> &out)
-{
-    std::vector<ReachWrite> memo(prog.defs.size());
-    for (const FunctionDef &d : prog.defs) {
-        if (d.phase != 1)
-            continue; // only READ roots
-        for (const CallSite &cs : d.calls) {
-            for (const int ti : resolve_call(prog, d, cs)) {
-                const FunctionDef &td =
-                    prog.defs[static_cast<std::size_t>(ti)];
-                if (td.phase != 0)
-                    continue; // direct READ->WRITE is L2's report
-                if (!def_reaches_write(prog, ti, memo))
-                    continue;
-                const auto &m = memo[static_cast<std::size_t>(ti)];
-                std::string chain = cs.name;
-                if (!m.via.empty())
-                    chain += "' -> '" + m.via;
-                add_violation(
-                    out, sources[static_cast<std::size_t>(d.file)],
-                    cs.line, "L4",
-                    "read-phase function '" +
-                        (d.cls.empty() ? d.name
-                                       : d.cls + "::" + d.name) +
-                        "' transitively reaches write-phase function '" +
-                        m.leaf + "' via unannotated helper '" + chain +
-                        "': same-cycle read-after-write hazard"
-                        " (interprocedural two-phase)");
-                break; // one report per call site is enough
-            }
-        }
-    }
-}
-
-// --------------------------------------------------------------------
-// L5: phase coverage (unannotated member-state writers on the tick
-// path need an annotation)
-// --------------------------------------------------------------------
-
-void
-check_l5(const Program &prog, const std::vector<SourceFile> &sources,
-         std::vector<Violation> &out)
-{
-    // Roots: every phase-annotated definition plus every evaluate /
-    // commit (the tick entry points L2 rule a already polices).
-    std::vector<int> worklist;
-    std::vector<bool> reachable(prog.defs.size(), false);
-    for (std::size_t i = 0; i < prog.defs.size(); ++i) {
-        const FunctionDef &d = prog.defs[i];
-        if (d.phase != 0 || d.name == "evaluate" ||
-            d.name == "commit") {
-            reachable[i] = true;
-            worklist.push_back(static_cast<int>(i));
-        }
-    }
-    while (!worklist.empty()) {
-        const int di = worklist.back();
-        worklist.pop_back();
-        const FunctionDef &d = prog.defs[static_cast<std::size_t>(di)];
-        for (const CallSite &cs : d.calls) {
-            for (const int ti : resolve_call(prog, d, cs)) {
-                if (!reachable[static_cast<std::size_t>(ti)]) {
-                    reachable[static_cast<std::size_t>(ti)] = true;
-                    worklist.push_back(ti);
-                }
-            }
-        }
-    }
-
-    for (std::size_t i = 0; i < prog.defs.size(); ++i) {
-        const FunctionDef &d = prog.defs[i];
-        if (!reachable[i] || d.phase != 0 || d.cls.empty() ||
-            !d.writes_members)
-            continue;
-        if (d.name == "evaluate" || d.name == "commit")
-            continue; // L2 rule a reports missing annotations there
-        if (d.name == d.cls)
-            continue; // constructors initialise, they don't tick
-        add_violation(
-            out, sources[static_cast<std::size_t>(d.file)], d.line,
-            "L5",
-            "member function '" + d.cls + "::" + d.name +
-                "' writes member state and is reachable from the"
-                " evaluate/commit tick path but has no"
-                " CATNAP_PHASE_READ/WRITE annotation (common/phase.h)");
-    }
-}
-
-// --------------------------------------------------------------------
-
-void
-collect_files(const std::string &arg, std::vector<std::string> &files)
-{
-    namespace fs = std::filesystem;
-    if (fs::is_directory(arg)) {
-        std::vector<std::string> found;
-        for (auto it = fs::recursive_directory_iterator(arg);
-             it != fs::recursive_directory_iterator(); ++it) {
-            // Fixture directories hold deliberately-broken inputs.
-            if (it->is_directory() &&
-                it->path().filename() == "fixtures") {
-                it.disable_recursion_pending();
-                continue;
-            }
-            if (!it->is_regular_file())
-                continue;
-            const std::string ext = it->path().extension().string();
-            if (ext == ".h" || ext == ".hpp" || ext == ".cc" ||
-                ext == ".cpp")
-                found.push_back(it->path().string());
-        }
-        // Deterministic report order regardless of directory walk order.
-        std::sort(found.begin(), found.end());
-        files.insert(files.end(), found.begin(), found.end());
-    } else {
-        files.push_back(arg);
-    }
-}
+using namespace catnap_lint;
 
 void
 write_lint_sarif(const std::string &path,
@@ -1210,6 +56,16 @@ write_lint_sarif(const std::string &path,
         {"L5", "PhaseCoverage",
          "member-state writers reachable from the tick path carry a"
          " phase annotation"},
+        {"L6", "AnnotationDrift",
+         "inferred transitive effects match the CATNAP_PHASE_*"
+         " annotation: READ functions do not commit peer-visible"
+         " state, WRITE functions are not effect-pure"},
+        {"L7", "CrossComponentEffects",
+         "tick-path functions do not mutate state of other component"
+         " instances outside CATNAP_SHARD_SAFE crossings"},
+        {"L8", "EffectsManifest",
+         "the inferred per-class effect contract matches the"
+         " checked-in effects manifest"},
     };
     std::vector<catnap_tools::SarifResult> results;
     for (const Violation &v : violations) {
@@ -1227,7 +83,7 @@ write_lint_sarif(const std::string &path,
                      path.c_str());
         std::exit(2);
     }
-    catnap_tools::write_sarif(os, "catnap_lint", "2.0.0", kRules,
+    catnap_tools::write_sarif(os, "catnap_lint", "3.0.0", kRules,
                               results);
 }
 
@@ -1236,9 +92,21 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: catnap_lint [--rules L1,L2,L3,L4,L5] [--expect RULE]"
-        " [--sarif PATH] <files-or-dirs>...\n");
+        "usage: catnap_lint [--rules L1,...,L8] [--expect RULE]"
+        " [--sarif PATH]\n"
+        "                   [--effects-out PATH]"
+        " [--effects-baseline PATH]\n"
+        "                   [--timing] [--budget-ms N]"
+        " <files-or-dirs>...\n");
     return 2;
+}
+
+/** Milliseconds elapsed since @p t0, as a double for printing. */
+double
+ms_since(std::chrono::steady_clock::time_point t0)
+{
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    return std::chrono::duration<double, std::milli>(dt).count();
 }
 
 } // namespace
@@ -1246,10 +114,16 @@ usage()
 int
 main(int argc, char **argv)
 {
-    std::set<std::string> rules = {"L1", "L2", "L3", "L4", "L5"};
+    std::set<std::string> rules = {"L1", "L2", "L3", "L4",
+                                   "L5", "L6", "L7", "L8"};
     std::string expect;
     std::string sarif_path;
+    std::string effects_out;
+    std::string effects_baseline;
+    bool timing = false;
+    long budget_ms = 0;
     std::vector<std::string> files;
+    std::set<std::string> explicit_files;
 
     for (int a = 1; a < argc; ++a) {
         const std::string arg = argv[a];
@@ -1263,17 +137,31 @@ main(int argc, char **argv)
             expect = argv[++a];
         } else if (arg == "--sarif" && a + 1 < argc) {
             sarif_path = argv[++a];
+        } else if (arg == "--effects-out" && a + 1 < argc) {
+            effects_out = argv[++a];
+        } else if (arg == "--effects-baseline" && a + 1 < argc) {
+            effects_baseline = argv[++a];
+        } else if (arg == "--timing") {
+            timing = true;
+        } else if (arg == "--budget-ms" && a + 1 < argc) {
+            budget_ms = std::strtol(argv[++a], nullptr, 10);
+            if (budget_ms <= 0)
+                return usage();
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else {
+            if (!std::filesystem::is_directory(arg))
+                explicit_files.insert(arg);
             collect_files(arg, files);
         }
     }
     if (files.empty())
         return usage();
+
+    const auto t_start = std::chrono::steady_clock::now();
 
     std::vector<SourceFile> sources;
     sources.reserve(files.size());
@@ -1284,33 +172,61 @@ main(int argc, char **argv)
                          path.c_str());
             return 2;
         }
+        f.explicit_input = explicit_files.count(path) > 0;
         sources.push_back(std::move(f));
     }
+    const double ms_tokenize = ms_since(t_start);
 
-    // The annotation table and call graph span all inputs so .cc
-    // definitions see the markers declared in headers.
+    const bool need_graph = rules.count("L4") || rules.count("L5") ||
+                            rules.count("L6") || rules.count("L7") ||
+                            rules.count("L8") || !effects_out.empty() ||
+                            !effects_baseline.empty();
+    const bool need_effects = rules.count("L6") || rules.count("L7") ||
+                              rules.count("L8") ||
+                              !effects_out.empty() ||
+                              !effects_baseline.empty();
+
+    // The annotation table, class hierarchy, and call graph span all
+    // inputs so .cc definitions see the markers and member tables
+    // declared in headers.
+    const auto t_graph = std::chrono::steady_clock::now();
     PhaseTable table;
     Program prog;
     std::vector<std::vector<ClassScope>> scopes;
     scopes.reserve(sources.size());
     for (std::size_t i = 0; i < sources.size(); ++i) {
         scopes.push_back(collect_class_scopes(sources[i].tokens));
-        collect_phase_annotations(sources[i], scopes[i], prog.annots,
-                                  table);
+        collect_phase_annotations(sources[i], scopes[i], prog, table);
+        register_classes(scopes[i], prog);
     }
-    const bool need_graph = rules.count("L4") || rules.count("L5");
     if (need_graph) {
+        finalize_class_hierarchy(prog);
         for (std::size_t i = 0; i < sources.size(); ++i) {
             // Host-side files are outside the tick-path call graph.
+            if (is_host_side(sources[i].path))
+                continue;
+            collect_members(sources[i], scopes[i], prog);
+        }
+        for (std::size_t i = 0; i < sources.size(); ++i) {
             if (is_host_side(sources[i].path))
                 continue;
             collect_defs(static_cast<int>(i), sources[i], scopes[i],
                          prog);
         }
-        for (FunctionDef &d : prog.defs)
+        for (FunctionDef &d : prog.defs) {
             d.phase = resolve_phase(prog, d);
+            d.shard_safe = resolve_shard_safe(prog, d);
+        }
     }
+    const double ms_graph = ms_since(t_graph);
 
+    const auto t_effects = std::chrono::steady_clock::now();
+    Effects fx;
+    if (need_effects)
+        fx = infer_effects(prog, sources);
+    const double ms_effects = ms_since(t_effects);
+
+    const auto t_rules = std::chrono::steady_clock::now();
     std::vector<Violation> violations;
     for (const auto &f : sources) {
         if (rules.count("L1"))
@@ -1324,22 +240,28 @@ main(int argc, char **argv)
         check_l4(prog, sources, violations);
     if (rules.count("L5"))
         check_l5(prog, sources, violations);
+    if (rules.count("L6"))
+        check_l6(prog, fx, sources, violations);
+    if (rules.count("L7"))
+        check_l7(prog, fx, sources, violations);
 
-    // Deterministic order and no duplicates (multiple L4 roots can
-    // converge on the same call site).
-    const auto key = [](const Violation &v) {
-        return std::tie(v.file, v.line, v.rule, v.message);
-    };
-    std::sort(violations.begin(), violations.end(),
-              [&key](const Violation &a, const Violation &b) {
-                  return key(a) < key(b);
-              });
-    violations.erase(
-        std::unique(violations.begin(), violations.end(),
-                    [&key](const Violation &a, const Violation &b) {
-                        return key(a) == key(b);
-                    }),
-        violations.end());
+    std::string manifest;
+    if (need_effects &&
+        (!effects_out.empty() || !effects_baseline.empty()))
+        manifest = build_effects_manifest(prog, fx, sources);
+    if (!effects_out.empty() &&
+        !write_effects_manifest(effects_out, manifest)) {
+        std::fprintf(stderr,
+                     "catnap_lint: FAILED to write effects manifest"
+                     " %s\n",
+                     effects_out.c_str());
+        return 2;
+    }
+    if (!effects_baseline.empty() && rules.count("L8"))
+        check_l8_baseline(effects_baseline, manifest, violations);
+
+    finalize_violations(violations);
+    const double ms_rules = ms_since(t_rules);
 
     for (const auto &v : violations) {
         std::printf("%s:%d: [%s] %s\n", v.file.c_str(), v.line,
@@ -1348,6 +270,24 @@ main(int argc, char **argv)
 
     if (!sarif_path.empty())
         write_lint_sarif(sarif_path, violations);
+
+    const double ms_total = ms_since(t_start);
+    if (timing) {
+        // stderr so stdout stays deterministic for the fixture tests.
+        std::fprintf(stderr,
+                     "catnap_lint: timing tokenize=%.1fms"
+                     " call-graph=%.1fms effects=%.1fms rules=%.1fms"
+                     " total=%.1fms (%zu files, %zu defs)\n",
+                     ms_tokenize, ms_graph, ms_effects, ms_rules,
+                     ms_total, sources.size(), prog.defs.size());
+    }
+    if (budget_ms > 0 && ms_total > static_cast<double>(budget_ms)) {
+        std::fprintf(stderr,
+                     "catnap_lint: budget exceeded: %.1fms >"
+                     " %ldms\n",
+                     ms_total, budget_ms);
+        return 2;
+    }
 
     if (!expect.empty()) {
         const bool hit =

@@ -1,0 +1,43 @@
+// Lint fixture: seeded L6 (annotation drift) violation, READ side.
+// Never compiled; consumed by `catnap_lint --expect L6`. A function
+// annotated CATNAP_PHASE_READ whose inferred transitive effects commit
+// a member that a peer reads in the same cycle is lying about its
+// phase: under the two-phase discipline the peer would observe the
+// new value or the old one depending on component iteration order.
+#include "common/phase.h"
+
+namespace fixture {
+
+using Cycle = unsigned long long;
+
+class Producer
+{
+  public:
+    // Violation: evaluate() is annotated READ but commits level_,
+    // which Consumer::evaluate reads through a peer pointer in the
+    // same evaluate phase — level_ is in Producer's visible set.
+    CATNAP_PHASE_READ void evaluate(Cycle now) { level_ = now; }
+
+    CATNAP_PHASE_READ Cycle level() const { return level_; }
+
+  private:
+    Cycle level_ = 0;
+};
+
+class Consumer
+{
+  public:
+    CATNAP_PHASE_READ void evaluate(Cycle now)
+    {
+        // Legal same-cycle peer read; it is what makes level_
+        // peer-visible and turns Producer's write into drift.
+        if (peer_->level() > now)
+            stalls_ = stalls_ + 1;
+    }
+
+  private:
+    Producer *peer_ = nullptr;
+    Cycle stalls_ = 0; // private accumulator: no peer reads it
+};
+
+} // namespace fixture

@@ -1,0 +1,35 @@
+// Lint fixture: seeded L6 (annotation drift) violation, WRITE side.
+// Never compiled; consumed by `catnap_lint --expect L6`. A non-virtual
+// function annotated CATNAP_PHASE_WRITE whose inferred transitive
+// effects contain no member, parameter, or cross-component write is
+// effect-pure: the WRITE label places it in the serialised commit
+// section for no reason, and readers of the annotation table draw the
+// wrong conclusion about what the commit phase may touch.
+#include "common/phase.h"
+
+namespace fixture {
+
+using Cycle = unsigned long long;
+
+class Committer
+{
+  public:
+    // Legitimate commit-phase mutator: keeps the fixture's tick path
+    // realistic and proves L6 distinguishes it from the pure one.
+    CATNAP_PHASE_WRITE void commit(Cycle now)
+    {
+        total_ = total_ + now;
+        if (snapshot() > limit_)
+            total_ = limit_;
+    }
+
+    // Violation: annotated WRITE but reads total_ and nothing else —
+    // effect-pure, should be CATNAP_PHASE_READ.
+    CATNAP_PHASE_WRITE Cycle snapshot() const { return total_; }
+
+  private:
+    Cycle total_ = 0;
+    Cycle limit_ = 1024;
+};
+
+} // namespace fixture

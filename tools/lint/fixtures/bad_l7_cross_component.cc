@@ -1,0 +1,52 @@
+// Lint fixture: seeded L7 (cross-component effects) violation. Never
+// compiled; consumed by `catnap_lint --expect L7`. A tick-path
+// function that mutates state owned by a *different component
+// instance* through a function not declared CATNAP_SHARD_SAFE is a
+// cross-shard race under the sharded core: nothing serialises the two
+// instances, so the write ordering depends on shard scheduling.
+#include "common/phase.h"
+
+namespace fixture {
+
+using Cycle = unsigned long long;
+
+class Sink
+{
+  public:
+    // Ordinary commit-phase mutators — correct on their own instance,
+    // but not declared as shard-safe crossings.
+    CATNAP_PHASE_WRITE void push(Cycle v) { tail_ = v; }
+    CATNAP_PHASE_WRITE void set_mark(Cycle v) { mark_ = v; }
+
+  private:
+    Cycle tail_ = 0;
+    Cycle mark_ = 0;
+};
+
+// Free helper that writes through its reference parameter: the effect
+// lands on whatever instance the caller hands in.
+inline void
+stamp(Sink &sink, Cycle now)
+{
+    sink.set_mark(now);
+}
+
+class Stage
+{
+  public:
+    // Violation 1: commit() reaches across the instance boundary and
+    // mutates sink_'s state via a non-CATNAP_SHARD_SAFE method call.
+    // Violation 2: the same crossing laundered through a helper's
+    // reference parameter — the inferred parameter-write set of
+    // stamp() binds back onto the peer argument.
+    CATNAP_PHASE_WRITE void commit(Cycle now)
+    {
+        sink_->push(now);
+        stamp(*sink_, now);
+    }
+
+  private:
+    Sink *sink_ = nullptr;
+};
+
+} // namespace fixture

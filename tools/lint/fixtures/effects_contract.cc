@@ -1,0 +1,54 @@
+// Lint fixture: clean input for the L8 effects-manifest tests. Never
+// compiled. Exercises every field of the manifest schema: own reads
+// and writes, a peer-visible field (read same-cycle through a peer
+// pointer), a declared CATNAP_SHARD_SAFE mailbox, and cross edges in
+// both flavours (a plain peer read and a shard-safe peer write).
+//
+// `catnap_lint --effects-out` over this file must reproduce
+// golden_l8_effects.json byte-for-byte on every run and platform; the
+// drift test feeds the deliberately stale golden_l8_stale.json as
+// `--effects-baseline` and expects an L8 violation.
+#include "common/phase.h"
+
+namespace fixture {
+
+using Cycle = unsigned long long;
+
+class Mailbox
+{
+  public:
+    // Declared mailbox: peers append concurrently during evaluate.
+    CATNAP_SHARD_SAFE CATNAP_PHASE_READ void post(Cycle v)
+    {
+        pending_ = pending_ + v;
+    }
+
+    CATNAP_PHASE_READ Cycle depth() const { return pending_; }
+
+    CATNAP_PHASE_WRITE void drain()
+    {
+        level_ = pending_;
+        pending_ = 0;
+    }
+
+  private:
+    Cycle pending_ = 0;
+    Cycle level_ = 0;
+};
+
+class Sender
+{
+  public:
+    CATNAP_PHASE_READ void evaluate(Cycle now)
+    {
+        // Same-cycle peer read: makes pending_ peer-visible.
+        if (box_->depth() < limit_)
+            box_->post(now); // legal: post is a declared crossing
+    }
+
+  private:
+    Mailbox *box_ = nullptr;
+    Cycle limit_ = 8;
+};
+
+} // namespace fixture

@@ -1,0 +1,423 @@
+#include "lint_effects.h"
+
+#include "lint_rules.h"
+
+#include <algorithm>
+
+namespace catnap_lint {
+
+bool
+keys_alias(const std::string &w, const std::string &r)
+{
+    if (w == r || w == "*" || r == "*")
+        return true;
+    // A bare field key covers every sub-field of the same field.
+    const auto wd = w.find('.');
+    const auto rd = r.find('.');
+    if (wd == std::string::npos && rd != std::string::npos)
+        return r.compare(0, rd, w) == 0;
+    if (rd == std::string::npos && wd != std::string::npos)
+        return w.compare(0, wd, r) == 0;
+    return false;
+}
+
+namespace {
+
+/** Resolves a call's targets, handling kResultPeer receivers whose
+ * class comes from the producing call's return type. */
+std::vector<int>
+resolve_targets(const Program &prog, const FunctionDef &d,
+                const CallSite &cs, std::string *peer_cls_out)
+{
+    std::string recv_cls;
+    if ((cs.recv == Recv::kResultPeer || cs.recv == Recv::kUnknown) &&
+        cs.prev_call >= 0 &&
+        static_cast<std::size_t>(cs.prev_call) < d.calls.size()) {
+        const CallSite &prev =
+            d.calls[static_cast<std::size_t>(cs.prev_call)];
+        const std::vector<int> pt = resolve_call(prog, d, prev);
+        for (const int ti : pt) {
+            const std::string &rc =
+                prog.defs[static_cast<std::size_t>(ti)].ret_cls;
+            if (rc.empty() || (!recv_cls.empty() && rc != recv_cls)) {
+                recv_cls.clear();
+                break;
+            }
+            recv_cls = rc;
+        }
+    }
+    if (peer_cls_out != nullptr) {
+        if (cs.recv == Recv::kMemberPeer || cs.recv == Recv::kLocalPeer)
+            *peer_cls_out = cs.recv_cls;
+        else if (cs.recv == Recv::kResultPeer)
+            *peer_cls_out = recv_cls;
+        else
+            peer_cls_out->clear();
+    }
+    return resolve_call(prog, d, cs, recv_cls);
+}
+
+template <typename T>
+bool
+merge_into(std::set<T> &dst, const std::set<T> &src)
+{
+    bool grew = false;
+    for (const T &v : src)
+        grew = dst.insert(v).second || grew;
+    return grew;
+}
+
+} // namespace
+
+Effects
+infer_effects(const Program &prog,
+              const std::vector<SourceFile> &sources)
+{
+    const std::size_t n = prog.defs.size();
+    Effects fx;
+    fx.own_reads.resize(n);
+    fx.own_writes.resize(n);
+    fx.param_reads.resize(n);
+    fx.param_writes.resize(n);
+    fx.writes_any.assign(n, 0);
+    fx.in_tick.assign(n, 0);
+    fx.read_reach.assign(n, 0);
+
+    // Seeds: the direct accesses recorded by the body scan.
+    for (std::size_t i = 0; i < n; ++i) {
+        const FunctionDef &d = prog.defs[i];
+        for (const FieldAccess &a : d.accesses)
+            (a.write ? fx.own_writes[i] : fx.own_reads[i])
+                .insert(a.key);
+        for (const ParamAccess &a : d.param_accesses)
+            (a.write ? fx.param_writes[i] : fx.param_reads[i])
+                .insert(a.param);
+        if (!d.peer_accesses.empty()) {
+            for (const PeerFieldAccess &a : d.peer_accesses)
+                if (a.write)
+                    fx.writes_any[i] = 1;
+        }
+        if (!fx.own_writes[i].empty() || !fx.param_writes[i].empty())
+            fx.writes_any[i] = 1;
+    }
+
+    // Binds one effect of a callee's parameter back onto the caller
+    // through the argument's encoded base. Returns true on growth.
+    const auto bind_arg = [&fx](std::size_t di, const CallSite &cs,
+                                int p, bool write) {
+        if (p < 0 ||
+            static_cast<std::size_t>(p) >= cs.arg_bases.size())
+            return false;
+        const std::string &base =
+            cs.arg_bases[static_cast<std::size_t>(p)];
+        if (base.empty())
+            return false;
+        if (base == "this")
+            return (write ? fx.own_writes[di] : fx.own_reads[di])
+                .insert("*")
+                .second;
+        if (base[0] == '#') {
+            const int q = std::stoi(base.substr(1));
+            return (write ? fx.param_writes[di] : fx.param_reads[di])
+                .insert(q)
+                .second;
+        }
+        if (base[0] == '@') {
+            // A peer instance handed to the callee: the write lands
+            // cross-component (edge materialised in the edge pass).
+            if (write && fx.writes_any[di] == 0) {
+                fx.writes_any[di] = 1;
+                return true;
+            }
+            return false;
+        }
+        return (write ? fx.own_writes[di] : fx.own_reads[di])
+            .insert(base)
+            .second;
+    };
+
+    // Fixpoint: propagate effects callee -> caller until stable. All
+    // sets only grow and are bounded by the input size, so this
+    // terminates; the cap is a safety net, not a tuning knob.
+    for (int round = 0; round < 64; ++round) {
+        bool changed = false;
+        for (std::size_t di = 0; di < n; ++di) {
+            const FunctionDef &d = prog.defs[di];
+            for (const CallSite &cs : d.calls) {
+                std::string peer_cls;
+                const std::vector<int> targets =
+                    resolve_targets(prog, d, cs, &peer_cls);
+
+                bool callee_writes = false;
+                for (const int t : targets) {
+                    const auto ti = static_cast<std::size_t>(t);
+                    callee_writes |= fx.writes_any[ti] != 0;
+                    // Parameter-mediated effects apply to every
+                    // receiver kind: the argument chooses the object.
+                    for (const int p : fx.param_writes[ti])
+                        changed |= bind_arg(di, cs, p, true);
+                    for (const int p : fx.param_reads[ti])
+                        changed |= bind_arg(di, cs, p, false);
+                }
+                if (targets.empty() &&
+                    annot_phase_of_name(prog, cs.name) == 2)
+                    callee_writes = true;
+
+                switch (cs.recv) {
+                  case Recv::kNone:
+                  case Recv::kThis:
+                    for (const int t : targets) {
+                        const auto ti = static_cast<std::size_t>(t);
+                        const FunctionDef &td = prog.defs[ti];
+                        if (td.cls != d.cls && !td.cls.empty())
+                            continue; // name-merged other class
+                        changed |= merge_into(fx.own_reads[di],
+                                              fx.own_reads[ti]);
+                        changed |= merge_into(fx.own_writes[di],
+                                              fx.own_writes[ti]);
+                    }
+                    break;
+                  case Recv::kMemberOwned: {
+                    // Effects inside an owned member collapse onto
+                    // the owning field.
+                    bool rd = false, wr = false;
+                    for (const int t : targets) {
+                        const auto ti = static_cast<std::size_t>(t);
+                        rd |= !fx.own_reads[ti].empty();
+                        wr |= !fx.own_writes[ti].empty();
+                    }
+                    if (!cs.recv_field.empty()) {
+                        if (rd)
+                            changed |= fx.own_reads[di]
+                                           .insert(cs.recv_field)
+                                           .second;
+                        if (wr)
+                            changed |= fx.own_writes[di]
+                                           .insert(cs.recv_field)
+                                           .second;
+                    }
+                    break;
+                  }
+                  case Recv::kMemberPeer:
+                  case Recv::kLocalPeer:
+                  case Recv::kResultPeer:
+                    if (!peer_cls.empty() && callee_writes &&
+                        fx.writes_any[di] == 0) {
+                        fx.writes_any[di] = 1;
+                        changed = true;
+                    }
+                    break;
+                  case Recv::kParam:
+                    if (cs.recv_param >= 0 && callee_writes) {
+                        changed |=
+                            fx.param_writes[di]
+                                .insert(cs.recv_param)
+                                .second;
+                        // Calling any method observes the referent.
+                        changed |= fx.param_reads[di]
+                                       .insert(cs.recv_param)
+                                       .second;
+                    } else if (cs.recv_param >= 0 &&
+                               !targets.empty()) {
+                        changed |= fx.param_reads[di]
+                                       .insert(cs.recv_param)
+                                       .second;
+                    }
+                    break;
+                  case Recv::kUnknown:
+                    // Result of a bare (same-instance) call — the
+                    // accessor idiom returns a reference into owned
+                    // storage, so a mutating method on it is an
+                    // own-side write (no peer edge, no L7).
+                    if (cs.prev_call >= 0 && callee_writes &&
+                        fx.writes_any[di] == 0) {
+                        fx.writes_any[di] = 1;
+                        changed = true;
+                    }
+                    break;
+                }
+            }
+            if (fx.writes_any[di] == 0 &&
+                (!fx.own_writes[di].empty() ||
+                 !fx.param_writes[di].empty())) {
+                fx.writes_any[di] = 1;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+
+    // Edge pass: materialise every cross-component edge with final
+    // write-ness and shard-safety.
+    for (std::size_t di = 0; di < n; ++di) {
+        const FunctionDef &d = prog.defs[di];
+        for (const PeerFieldAccess &a : d.peer_accesses) {
+            PeerEdge e;
+            e.def = static_cast<int>(di);
+            e.cls = a.cls;
+            e.via = a.key;
+            e.is_field = true;
+            e.write = a.write;
+            e.shard_safe = false;
+            e.line = a.line;
+            fx.edges.push_back(std::move(e));
+        }
+        for (const CallSite &cs : d.calls) {
+            std::string peer_cls;
+            const std::vector<int> targets =
+                resolve_targets(prog, d, cs, &peer_cls);
+            // Peer handed into a (usually free) helper that writes
+            // through the corresponding parameter.
+            for (const int t : targets) {
+                const auto ti = static_cast<std::size_t>(t);
+                for (const int p : fx.param_writes[ti]) {
+                    if (p < 0 || static_cast<std::size_t>(p) >=
+                                     cs.arg_bases.size())
+                        continue;
+                    const std::string &base =
+                        cs.arg_bases[static_cast<std::size_t>(p)];
+                    if (base.empty() || base[0] != '@')
+                        continue;
+                    PeerEdge e;
+                    e.def = static_cast<int>(di);
+                    e.cls = base.substr(1);
+                    e.via = cs.name;
+                    e.write = true;
+                    e.shard_safe =
+                        prog.defs[ti].shard_safe;
+                    e.line = cs.line;
+                    e.targets.push_back(t);
+                    fx.edges.push_back(std::move(e));
+                }
+            }
+            if (peer_cls.empty())
+                continue;
+            PeerEdge e;
+            e.def = static_cast<int>(di);
+            e.cls = peer_cls;
+            e.via = cs.name;
+            e.line = cs.line;
+            e.targets = targets;
+            if (targets.empty()) {
+                e.write = annot_phase_of_name(prog, cs.name) == 2;
+                e.shard_safe = annot_shard_safe_name(prog, cs.name);
+            } else {
+                e.write = false;
+                e.shard_safe = true;
+                for (const int t : targets) {
+                    const auto ti = static_cast<std::size_t>(t);
+                    e.write |= fx.writes_any[ti] != 0;
+                    e.shard_safe &= prog.defs[ti].shard_safe;
+                }
+            }
+            fx.edges.push_back(std::move(e));
+        }
+    }
+
+    // Tick closure: everything reachable from a phase-annotated
+    // function or an evaluate/commit entry point.
+    {
+        std::vector<int> worklist;
+        for (std::size_t i = 0; i < n; ++i) {
+            const FunctionDef &d = prog.defs[i];
+            if (d.phase != 0 || d.name == "evaluate" ||
+                d.name == "commit") {
+                fx.in_tick[i] = 1;
+                worklist.push_back(static_cast<int>(i));
+            }
+        }
+        while (!worklist.empty()) {
+            const auto di =
+                static_cast<std::size_t>(worklist.back());
+            worklist.pop_back();
+            const FunctionDef &d = prog.defs[di];
+            for (const CallSite &cs : d.calls) {
+                for (const int t :
+                     resolve_targets(prog, d, cs, nullptr)) {
+                    if (fx.in_tick[static_cast<std::size_t>(t)] == 0) {
+                        fx.in_tick[static_cast<std::size_t>(t)] = 1;
+                        worklist.push_back(t);
+                    }
+                }
+            }
+        }
+    }
+
+    // Evaluate-phase closure: reachable from READ roots without
+    // entering WRITE functions (a READ->WRITE path is an L2/L4
+    // violation reported separately). CATNAP_SHARD_SAFE functions are
+    // excluded on both ends: a declared crossing's internal reads are
+    // mailbox/barrier implementation, not same-cycle peer observation
+    // (the sharded core serialises them), so they must not widen any
+    // class's visible surface.
+    {
+        std::vector<int> worklist;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (prog.defs[i].phase == 1 && !prog.defs[i].shard_safe) {
+                fx.read_reach[i] = 1;
+                worklist.push_back(static_cast<int>(i));
+            }
+        }
+        while (!worklist.empty()) {
+            const auto di =
+                static_cast<std::size_t>(worklist.back());
+            worklist.pop_back();
+            const FunctionDef &d = prog.defs[di];
+            for (const CallSite &cs : d.calls) {
+                for (const int t :
+                     resolve_targets(prog, d, cs, nullptr)) {
+                    const auto ti = static_cast<std::size_t>(t);
+                    if (prog.defs[ti].phase == 2 ||
+                        prog.defs[ti].shard_safe ||
+                        fx.read_reach[ti] != 0)
+                        continue;
+                    fx.read_reach[ti] = 1;
+                    worklist.push_back(t);
+                }
+            }
+        }
+    }
+
+    // Visible sets: fields of each class that peers read during the
+    // evaluate phase — the same-cycle-visible surface the sharded
+    // core must publish at the barrier, and the set a READ-phase
+    // function of that class must never commit to (L6).
+    for (const PeerEdge &e : fx.edges) {
+        const auto di = static_cast<std::size_t>(e.def);
+        if (fx.read_reach[di] == 0)
+            continue;
+        const FunctionDef &d = prog.defs[di];
+        // Out-of-scope readers (host-side tooling, model
+        // instrumentation) do not widen the contract surface.
+        if (d.file >= 0 &&
+            static_cast<std::size_t>(d.file) < sources.size() &&
+            !in_contract_scope(
+                sources[static_cast<std::size_t>(d.file)]))
+            continue;
+        const std::string reader =
+            d.cls.empty() ? d.name : d.cls + "::" + d.name;
+        if (e.is_field) {
+            if (!e.write)
+                fx.visible[e.cls].emplace(e.via, reader);
+            continue;
+        }
+        for (const int t : e.targets) {
+            const auto ti = static_cast<std::size_t>(t);
+            const FunctionDef &td = prog.defs[ti];
+            // A shard-safe callee is the declared crossing: its reads
+            // are mailbox internals, not peer observation.
+            if (td.shard_safe)
+                continue;
+            const std::string via =
+                td.cls.empty() ? td.name : td.cls + "::" + td.name;
+            for (const std::string &k : fx.own_reads[ti])
+                fx.visible[td.cls.empty() ? e.cls : td.cls].emplace(
+                    k, via);
+        }
+    }
+
+    return fx;
+}
+
+} // namespace catnap_lint

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Member-effect inference for catnap_lint (DESIGN.md §14). Computes,
+ * for every function definition in the input set, the *transitive
+ * closure* of its effects over the name-resolved call graph:
+ *
+ *  - own_reads/own_writes: field keys of the enclosing class touched,
+ *    directly or through callees. Effects on owned members (values,
+ *    unique_ptr) collapse onto the owning field key; one sub-field
+ *    level is kept (`port_power_.state`) so designed READ-phase
+ *    latches stay distinguishable from peer-visible sub-fields.
+ *  - param_reads/param_writes: parameter indices whose referent is
+ *    touched, propagated caller-to-callee through argument bases.
+ *  - peer edges: calls and direct field accesses that reach a
+ *    *different component instance* (raw-pointer/reference members,
+ *    explicitly-typed locals, class-typed parameters of free helpers
+ *    resolved through peer receivers), each tagged with write-ness
+ *    (from the callee's transitive summary) and whether the crossing
+ *    is through a CATNAP_SHARD_SAFE function.
+ *
+ * Two reachability sets complete the picture: in_tick (reachable from
+ * any phase-annotated function or evaluate/commit) scopes the rules;
+ * read_reach (reachable from CATNAP_PHASE_READ roots without entering
+ * WRITE functions) defines the evaluate-phase closure from which the
+ * *visible set* of each class is derived — the fields peers actually
+ * read same-cycle, which is exactly the state the sharded core must
+ * publish at the cycle barrier.
+ *
+ * The lattice is deliberately shallow: keys are strings, sets only
+ * grow, and the fixpoint terminates because every set is bounded by
+ * the token count of the input. Unknown receivers (auto locals,
+ * unresolved call results) contribute nothing — the inference
+ * under-approximates rather than guesses.
+ */
+#ifndef CATNAP_LINT_EFFECTS_H
+#define CATNAP_LINT_EFFECTS_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint_graph.h"
+
+namespace catnap_lint {
+
+/** One cross-component edge, after write-ness resolution. */
+struct PeerEdge
+{
+    int def = -1;     ///< originating definition
+    std::string cls;  ///< target (peer) class
+    std::string via;  ///< callee name, or field key for direct access
+    bool is_field = false;
+    bool write = false;
+    bool shard_safe = false;
+    int line = 0;
+    std::vector<int> targets; ///< resolved callee defs (calls only)
+};
+
+/** Closed (transitive) effect summaries for every definition. */
+struct Effects
+{
+    std::vector<std::set<std::string>> own_reads;
+    std::vector<std::set<std::string>> own_writes;
+    std::vector<std::set<int>> param_reads;
+    std::vector<std::set<int>> param_writes;
+    std::vector<char> writes_any; ///< any own/param/peer write, closed
+    std::vector<char> in_tick;    ///< reachable from the tick path
+    std::vector<char> read_reach; ///< in the evaluate-phase closure
+    std::vector<PeerEdge> edges;  ///< all cross-component edges
+    /** cls -> field key -> one reader ("Cls::fn") as the witness. */
+    std::map<std::string, std::map<std::string, std::string>> visible;
+};
+
+/** True when write key @p w and read key @p r can alias: equal keys,
+ * or a bare field key covering the other's `field.sub`. */
+bool keys_alias(const std::string &w, const std::string &r);
+
+/** Runs the inference to fixpoint. @p prog must be fully collected
+ * (defs, members, hierarchy, resolved phases and shard flags). */
+/** Runs the effect inference over @p prog. @p sources is consulted
+ * only for the visible sets: a reader outside the contract scope
+ * (host-side tooling, instrumentation) must not widen the same-cycle
+ * surface the sharded core owes src/ components. */
+Effects infer_effects(const Program &prog,
+                      const std::vector<SourceFile> &sources);
+
+} // namespace catnap_lint
+
+#endif // CATNAP_LINT_EFFECTS_H

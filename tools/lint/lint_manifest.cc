@@ -1,0 +1,189 @@
+#include "lint_manifest.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace catnap_lint {
+
+namespace {
+
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c; break;
+        }
+    }
+    return out;
+}
+
+void
+emit_string_array(std::ostringstream &os, const char *key,
+                  const std::set<std::string> &items,
+                  const char *indent)
+{
+    os << indent << "\"" << key << "\": [";
+    bool first = true;
+    for (const std::string &s : items) {
+        os << (first ? "" : ", ") << "\"" << json_escape(s) << "\"";
+        first = false;
+    }
+    os << "]";
+}
+
+/** Everything the manifest records about one class. */
+struct ClassEntry
+{
+    std::string file; // smallest normalized path among contributing defs
+    std::set<std::string> reads;
+    std::set<std::string> writes;
+    std::set<std::string> visible;
+    std::set<std::string> shard_safe;
+    // (to, via, is_field, write, crossing shard_safe)
+    std::set<std::tuple<std::string, std::string, bool, bool, bool>> cross;
+};
+
+} // namespace
+
+std::string
+build_effects_manifest(const Program &prog, const Effects &fx,
+                       const std::vector<SourceFile> &sources)
+{
+    std::map<std::string, ClassEntry> classes;
+    std::vector<char> in_scope(prog.defs.size(), 0);
+
+    for (std::size_t i = 0; i < prog.defs.size(); ++i) {
+        const FunctionDef &d = prog.defs[i];
+        if (d.cls.empty() || fx.in_tick[i] == 0)
+            continue;
+        const SourceFile &f =
+            sources[static_cast<std::size_t>(d.file)];
+        if (!in_contract_scope(f))
+            continue;
+        in_scope[i] = 1;
+
+        ClassEntry &e = classes[d.cls];
+        const std::string np = normalize_path(f.path);
+        if (e.file.empty() || np < e.file)
+            e.file = np;
+        e.reads.insert(fx.own_reads[i].begin(), fx.own_reads[i].end());
+        e.writes.insert(fx.own_writes[i].begin(),
+                        fx.own_writes[i].end());
+        if (d.shard_safe)
+            e.shard_safe.insert(d.name);
+    }
+    for (const PeerEdge &edge : fx.edges) {
+        const auto di = static_cast<std::size_t>(edge.def);
+        if (!in_scope[di])
+            continue;
+        const FunctionDef &d = prog.defs[di];
+        classes[d.cls].cross.insert({edge.cls, edge.via, edge.is_field,
+                                     edge.write, edge.shard_safe});
+    }
+    for (const auto &[cls, fields] : fx.visible) {
+        const auto it = classes.find(cls);
+        if (it == classes.end())
+            continue;
+        for (const auto &[key, witness] : fields) {
+            (void)witness; // witnesses are report detail, not contract
+            it->second.visible.insert(key);
+        }
+    }
+
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"catnap-effects-v1\",\n  \"classes\": {";
+    bool first_cls = true;
+    for (const auto &[cls, e] : classes) {
+        os << (first_cls ? "" : ",") << "\n    \""
+           << json_escape(cls) << "\": {\n";
+        os << "      \"file\": \"" << json_escape(e.file) << "\",\n";
+        emit_string_array(os, "reads", e.reads, "      ");
+        os << ",\n";
+        emit_string_array(os, "writes", e.writes, "      ");
+        os << ",\n";
+        emit_string_array(os, "visible", e.visible, "      ");
+        os << ",\n";
+        emit_string_array(os, "shard_safe", e.shard_safe, "      ");
+        os << ",\n      \"cross\": [";
+        bool first_edge = true;
+        for (const auto &[to, via, is_field, write, safe] : e.cross) {
+            os << (first_edge ? "" : ",") << "\n        {\"to\": \""
+               << json_escape(to) << "\", \"via\": \""
+               << json_escape(via) << "\", \"kind\": \""
+               << (is_field ? "field" : "call") << "\", \"write\": "
+               << (write ? "true" : "false") << ", \"shard_safe\": "
+               << (safe ? "true" : "false") << "}";
+            first_edge = false;
+        }
+        if (!first_edge)
+            os << "\n      ";
+        os << "]\n    }";
+        first_cls = false;
+    }
+    if (!first_cls)
+        os << "\n  ";
+    os << "}\n}\n";
+    return os.str();
+}
+
+bool
+write_effects_manifest(const std::string &path, const std::string &json)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << json;
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+void
+check_l8_baseline(const std::string &baseline_path,
+                  const std::string &json, std::vector<Violation> &out)
+{
+    static const char *kHint =
+        "; regenerate via `catnap_lint --effects-out"
+        " results/effects.json src` from the repo root and review the"
+        " diff";
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+        out.push_back({baseline_path, 1, "L8",
+                       "effects baseline '" + baseline_path +
+                           "' is missing or unreadable" + kHint});
+        return;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string baseline = ss.str();
+    if (baseline == json)
+        return;
+
+    // Point the report at the first differing line of the baseline.
+    int line = 1;
+    for (std::size_t i = 0;
+         i < baseline.size() && i < json.size() &&
+         baseline[i] == json[i];
+         ++i) {
+        if (baseline[i] == '\n')
+            ++line;
+    }
+    out.push_back(
+        {baseline_path, line, "L8",
+         "effects manifest drift: the inferred per-class effect"
+         " contract no longer matches the checked-in baseline"
+         " (first difference at line " +
+             std::to_string(line) + ")" + kHint});
+}
+
+} // namespace catnap_lint

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The L8 effects manifest (DESIGN.md §14): a machine-readable,
+ * deterministic JSON contract of every simulator class's inferred
+ * read/write/visible/cross-component surface. The checked-in copy
+ * (results/effects.json) is the interface the sharded core consumes;
+ * CI regenerates it and fails on drift, so every change to what a
+ * component touches is a reviewed diff, not a silent behaviour shift.
+ *
+ * Scope matches L6/L7: only tick-path definitions in contract scope
+ * (files under src/, or named explicitly on the command line)
+ * contribute. Output is byte-stable — classes, fields, and edges are
+ * emitted in sorted order with no timestamps.
+ */
+#ifndef CATNAP_LINT_MANIFEST_H
+#define CATNAP_LINT_MANIFEST_H
+
+#include <string>
+#include <vector>
+
+#include "lint_effects.h"
+#include "lint_graph.h"
+#include "lint_rules.h"
+#include "lint_source.h"
+
+namespace catnap_lint {
+
+/** Renders the manifest JSON ("catnap-effects-v1"). */
+std::string build_effects_manifest(const Program &prog,
+                                   const Effects &fx,
+                                   const std::vector<SourceFile> &sources);
+
+/** Writes @p json to @p path; false on IO failure (caller must report
+ * loudly — a silently missing manifest defeats the CI gate). */
+bool write_effects_manifest(const std::string &path,
+                            const std::string &json);
+
+/**
+ * Compares @p json against the checked-in baseline at @p baseline_path
+ * and appends one L8 violation on any difference (or a missing /
+ * unreadable baseline), with the regeneration command in the message.
+ */
+void check_l8_baseline(const std::string &baseline_path,
+                       const std::string &json,
+                       std::vector<Violation> &out);
+
+} // namespace catnap_lint
+
+#endif // CATNAP_LINT_MANIFEST_H

@@ -1,0 +1,540 @@
+#include "lint_rules.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace catnap_lint {
+
+namespace {
+constexpr auto npos = std::string::npos;
+} // namespace
+
+void
+add_violation(std::vector<Violation> &out, const SourceFile &f,
+              int line, const std::string &rule, const std::string &msg)
+{
+    if (!suppressed(f, line, rule))
+        out.push_back({f.path, line, rule, msg});
+}
+
+std::string
+normalize_path(const std::string &path)
+{
+    std::string q = path;
+    while (q.rfind("./", 0) == 0)
+        q = q.substr(2);
+    static const char *kMarkers[] = {"src/", "tools/", "bench/",
+                                     "tests/"};
+    std::size_t best = npos;
+    for (const char *m : kMarkers) {
+        if (q.rfind(m, 0) == 0)
+            return q;
+        const auto pos = q.find(std::string("/") + m);
+        if (pos != npos && pos < best)
+            best = pos;
+    }
+    if (best != npos)
+        return q.substr(best + 1);
+    return q;
+}
+
+bool
+in_contract_scope(const SourceFile &f)
+{
+    if (f.explicit_input)
+        return true;
+    return normalize_path(f.path).rfind("src/", 0) == 0 &&
+           !is_host_side(f.path);
+}
+
+// --------------------------------------------------------------------
+// L1: determinism
+// --------------------------------------------------------------------
+
+void
+check_l1(const SourceFile &f, std::vector<Violation> &out)
+{
+    static const std::set<std::string> kBannedRngIdents = {
+        "rand", "srand", "rand_r", "drand48", "lrand48", "random",
+        "random_shuffle", "random_device", "mt19937", "mt19937_64",
+        "default_random_engine", "minstd_rand", "minstd_rand0", "knuth_b",
+        "ranlux24", "ranlux48",
+    };
+    static const std::set<std::string> kBannedClockIdents = {
+        "system_clock", "steady_clock", "high_resolution_clock",
+        "gettimeofday", "clock_gettime",
+    };
+    static const std::set<std::string> kBannedCalls = {"time", "clock"};
+    // Host-side files may read the host clock (timeouts, exec.* trace
+    // timestamps); the RNG and unordered-container bans still apply.
+    const bool clocks_allowed = is_host_side(f.path);
+    static const std::set<std::string> kUnordered = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset",
+    };
+
+    const auto &t = f.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const std::string &id = t[i].text;
+        if (!is_ident_start(id[0]))
+            continue;
+        if (kBannedRngIdents.count(id) > 0 ||
+            (!clocks_allowed && kBannedClockIdents.count(id) > 0)) {
+            add_violation(out, f, t[i].line, "L1",
+                          "nondeterministic source '" + id +
+                              "': all randomness/time must flow through"
+                              " common/rng.h and the Cycle clock");
+        } else if (!clocks_allowed && kBannedCalls.count(id) > 0 &&
+                   i + 1 < t.size() &&
+                   t[i + 1].text == "(" &&
+                   (i == 0 || (t[i - 1].text != "." &&
+                               t[i - 1].text != "->" &&
+                               t[i - 1].text != "::"))) {
+            add_violation(out, f, t[i].line, "L1",
+                          "wall-clock call '" + id +
+                              "()': simulation time is the Cycle"
+                              " counter, not host time");
+        } else if (kUnordered.count(id) > 0) {
+            add_violation(
+                out, f, t[i].line, "L1",
+                "unordered container '" + id +
+                    "': iteration order is unspecified and leaks"
+                    " nondeterminism into simulation state/events; use"
+                    " std::map, std::vector, or suppress with"
+                    " // catnap-lint: allow(L1) if provably unordered");
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// L2: two-phase discipline (direct calls)
+// --------------------------------------------------------------------
+
+void
+check_l2(const SourceFile &f, const PhaseTable &table,
+         std::vector<Violation> &out)
+{
+    const auto &t = f.tokens;
+
+    // Rule a: every evaluate/commit declaration carries an annotation.
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        if ((t[i].text != "evaluate" && t[i].text != "commit") ||
+            i + 1 >= t.size() || t[i + 1].text != "(")
+            continue;
+        if (t[i - 1].text != "void")
+            continue; // call or qualified definition, not a declaration
+        const bool annotated =
+            i >= 2 && (t[i - 2].text == "CATNAP_PHASE_READ" ||
+                       t[i - 2].text == "CATNAP_PHASE_WRITE" ||
+                       t[i - 2].text == "CATNAP_SHARD_SAFE");
+        if (!annotated) {
+            add_violation(out, f, t[i].line, "L2",
+                          "phase method '" + t[i].text +
+                              "' lacks a CATNAP_PHASE_READ/WRITE"
+                              " annotation (common/phase.h)");
+        }
+    }
+
+    // Rule b: read-phase function bodies never call write-phase
+    // functions (same-cycle read-after-write hazard).
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (table.read_fns.count(t[i].text) == 0)
+            continue;
+        // A definition is either qualified (Class::name) or an inline
+        // body directly after the annotated declaration.
+        const bool qualified = i >= 1 && t[i - 1].text == "::";
+        const auto [body_open, body_close] = find_body(t, i);
+        if (body_open == npos)
+            continue;
+        if (!qualified && i >= 1 && t[i - 1].text != "void" &&
+            !is_ident_start(t[i - 1].text[0]))
+            continue; // e.g. a call used as an expression statement
+        for (std::size_t k = body_open + 1; k < body_close; ++k) {
+            if (table.write_fns.count(t[k].text) == 0 ||
+                k + 1 >= t.size() || t[k + 1].text != "(")
+                continue;
+            add_violation(out, f, t[k].line, "L2",
+                          "read-phase function '" + t[i].text +
+                              "' calls write-phase function '" +
+                              t[k].text +
+                              "': same-cycle read-after-write hazard"
+                              " (two-phase discipline)");
+        }
+        i = body_close;
+    }
+}
+
+// --------------------------------------------------------------------
+// L3: counter safety
+// --------------------------------------------------------------------
+
+namespace {
+
+/** True for identifiers that (by convention) hold Cycle values. */
+bool
+is_cycleish(const std::string &raw)
+{
+    std::string id = raw;
+    while (!id.empty() && id.back() == '_')
+        id.pop_back();
+    static const std::set<std::string> kExact = {
+        "now",  "ready",       "wake_done", "sleep_start",
+        "head_since", "created", "injected",  "cycle", "cycles",
+    };
+    if (kExact.count(id) > 0)
+        return true;
+    auto ends_with = [&id](const char *suffix) {
+        const std::string s(suffix);
+        return id.size() > s.size() &&
+               id.compare(id.size() - s.size(), s.size(), s) == 0;
+    };
+    return ends_with("_cycle") || ends_with("_cycles") ||
+           ends_with("_done") || ends_with("_since");
+}
+
+} // namespace
+
+void
+check_l3(const SourceFile &f, std::vector<Violation> &out)
+{
+    static const std::set<std::string> kNarrowTypes = {
+        "int",     "short",   "unsigned", "char",     "int8_t",
+        "int16_t", "int32_t", "uint8_t",  "uint16_t", "uint32_t",
+    };
+    const auto &t = f.tokens;
+
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        // Rule a: static_cast<small-int>(cycle expression).
+        if (t[i].text == "static_cast" && i + 1 < t.size() &&
+            t[i + 1].text == "<") {
+            const std::size_t close = match_forward(t, i + 1, "<", ">");
+            if (close == npos || close + 1 >= t.size() ||
+                t[close + 1].text != "(")
+                continue;
+            // The cast's target type is narrow iff its last identifier
+            // names a sub-64-bit integral type.
+            std::string last_type_ident;
+            for (std::size_t k = i + 2; k < close; ++k)
+                if (is_ident_start(t[k].text[0]))
+                    last_type_ident = t[k].text;
+            if (kNarrowTypes.count(last_type_ident) == 0)
+                continue;
+            const std::size_t expr_end =
+                match_forward(t, close + 1, "(", ")");
+            if (expr_end == npos)
+                continue;
+            for (std::size_t k = close + 2; k < expr_end; ++k) {
+                if (is_ident_start(t[k].text[0]) &&
+                    is_cycleish(t[k].text)) {
+                    add_violation(
+                        out, f, t[k].line, "L3",
+                        "narrowing cast of cycle expression '" +
+                            t[k].text + "' to " + last_type_ident +
+                            ": Cycle is 64-bit and truncates after"
+                            " ~2^31 cycles");
+                    break;
+                }
+            }
+        }
+        // Rule b: bare -1 sentinel in returns/comparisons.
+        if (t[i].text == "-" && i + 1 < t.size() &&
+            t[i + 1].text == "1" && i >= 1) {
+            const std::string &prev = t[i - 1].text;
+            if (prev == "return" || prev == "==" || prev == "!=") {
+                add_violation(
+                    out, f, t[i].line, "L3",
+                    "bare -1 sentinel: use a named constant"
+                    " (kInvalidVc, kNoSubnet, kInvalidNode) or"
+                    " std::optional so signed/unsigned index mixing"
+                    " cannot occur");
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// L4: interprocedural two-phase (READ must not transitively reach
+// WRITE through unannotated helpers)
+// --------------------------------------------------------------------
+
+namespace {
+
+/** Memoised "reaches a WRITE through phase-none defs" computation. */
+struct ReachWrite
+{
+    enum State : std::uint8_t { kUnvisited, kInProgress, kNo, kYes };
+    State state = kUnvisited;
+    std::string leaf;         ///< name of the WRITE finally reached
+    std::string via;          ///< next hop's display name
+};
+
+bool
+def_reaches_write(const Program &prog, int di,
+                  std::vector<ReachWrite> &memo)
+{
+    auto &m = memo[static_cast<std::size_t>(di)];
+    if (m.state == ReachWrite::kYes)
+        return true;
+    if (m.state == ReachWrite::kNo || m.state == ReachWrite::kInProgress)
+        return false; // cycles cannot create new write reachability
+    m.state = ReachWrite::kInProgress;
+
+    const FunctionDef &d = prog.defs[static_cast<std::size_t>(di)];
+    for (const CallSite &cs : d.calls) {
+        const std::vector<int> targets = resolve_call(prog, d, cs);
+        bool any_def_write = false;
+        for (const int ti : targets) {
+            if (prog.defs[static_cast<std::size_t>(ti)].phase == 2) {
+                any_def_write = true;
+                break;
+            }
+        }
+        if (any_def_write ||
+            (targets.empty() &&
+             annot_phase_of_name(prog, cs.name) == 2)) {
+            m.state = ReachWrite::kYes;
+            m.leaf = cs.name;
+            m.via.clear();
+            return true;
+        }
+        for (const int ti : targets) {
+            const FunctionDef &td =
+                prog.defs[static_cast<std::size_t>(ti)];
+            if (td.phase != 0)
+                continue; // READ targets are their own L4 roots
+            if (def_reaches_write(prog, ti, memo)) {
+                m.state = ReachWrite::kYes;
+                m.leaf = memo[static_cast<std::size_t>(ti)].leaf;
+                m.via = (td.cls.empty() ? td.name
+                                        : td.cls + "::" + td.name);
+                return true;
+            }
+        }
+    }
+    m.state = ReachWrite::kNo;
+    return false;
+}
+
+} // namespace
+
+void
+check_l4(const Program &prog, const std::vector<SourceFile> &sources,
+         std::vector<Violation> &out)
+{
+    std::vector<ReachWrite> memo(prog.defs.size());
+    for (const FunctionDef &d : prog.defs) {
+        if (d.phase != 1)
+            continue; // only READ roots
+        for (const CallSite &cs : d.calls) {
+            for (const int ti : resolve_call(prog, d, cs)) {
+                const FunctionDef &td =
+                    prog.defs[static_cast<std::size_t>(ti)];
+                if (td.phase != 0)
+                    continue; // direct READ->WRITE is L2's report
+                if (!def_reaches_write(prog, ti, memo))
+                    continue;
+                const auto &m = memo[static_cast<std::size_t>(ti)];
+                std::string chain = cs.name;
+                if (!m.via.empty())
+                    chain += "' -> '" + m.via;
+                add_violation(
+                    out, sources[static_cast<std::size_t>(d.file)],
+                    cs.line, "L4",
+                    "read-phase function '" +
+                        (d.cls.empty() ? d.name
+                                       : d.cls + "::" + d.name) +
+                        "' transitively reaches write-phase function '" +
+                        m.leaf + "' via unannotated helper '" + chain +
+                        "': same-cycle read-after-write hazard"
+                        " (interprocedural two-phase)");
+                break; // one report per call site is enough
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// L5: phase coverage (unannotated member-state writers on the tick
+// path need an annotation)
+// --------------------------------------------------------------------
+
+void
+check_l5(const Program &prog, const std::vector<SourceFile> &sources,
+         std::vector<Violation> &out)
+{
+    // Roots: every phase-annotated definition plus every evaluate /
+    // commit (the tick entry points L2 rule a already polices).
+    std::vector<int> worklist;
+    std::vector<bool> reachable(prog.defs.size(), false);
+    for (std::size_t i = 0; i < prog.defs.size(); ++i) {
+        const FunctionDef &d = prog.defs[i];
+        if (d.phase != 0 || d.name == "evaluate" ||
+            d.name == "commit") {
+            reachable[i] = true;
+            worklist.push_back(static_cast<int>(i));
+        }
+    }
+    while (!worklist.empty()) {
+        const int di = worklist.back();
+        worklist.pop_back();
+        const FunctionDef &d = prog.defs[static_cast<std::size_t>(di)];
+        for (const CallSite &cs : d.calls) {
+            for (const int ti : resolve_call(prog, d, cs)) {
+                if (!reachable[static_cast<std::size_t>(ti)]) {
+                    reachable[static_cast<std::size_t>(ti)] = true;
+                    worklist.push_back(ti);
+                }
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i < prog.defs.size(); ++i) {
+        const FunctionDef &d = prog.defs[i];
+        if (!reachable[i] || d.phase != 0 || d.cls.empty() ||
+            !d.writes_members)
+            continue;
+        if (d.name == "evaluate" || d.name == "commit")
+            continue; // L2 rule a reports missing annotations there
+        if (d.name == d.cls)
+            continue; // constructors initialise, they don't tick
+        add_violation(
+            out, sources[static_cast<std::size_t>(d.file)], d.line,
+            "L5",
+            "member function '" + d.cls + "::" + d.name +
+                "' writes member state and is reachable from the"
+                " evaluate/commit tick path but has no"
+                " CATNAP_PHASE_READ/WRITE annotation (common/phase.h)");
+    }
+}
+
+// --------------------------------------------------------------------
+// L6: annotation drift (effects contradict CATNAP_PHASE_* claims)
+// --------------------------------------------------------------------
+
+void
+check_l6(const Program &prog, const Effects &fx,
+         const std::vector<SourceFile> &sources,
+         std::vector<Violation> &out)
+{
+    for (std::size_t i = 0; i < prog.defs.size(); ++i) {
+        const FunctionDef &d = prog.defs[i];
+        if (d.cls.empty() || fx.in_tick[i] == 0)
+            continue;
+        const SourceFile &f =
+            sources[static_cast<std::size_t>(d.file)];
+        if (!in_contract_scope(f))
+            continue;
+        const std::string display = d.cls + "::" + d.name;
+
+        if (d.phase == 1) {
+            // Drifted READ: its transitive write set intersects the
+            // peer-visible surface of its own class. Staging queues,
+            // monotonic counters, and latches peers never read stay
+            // legal — that is what the visible set encodes. A declared
+            // CATNAP_SHARD_SAFE mailbox is exempt: writing its own
+            // mailbox state is its whole purpose, and the sharded core
+            // serialises those appends.
+            if (d.shard_safe)
+                continue;
+            const auto vis = fx.visible.find(d.cls);
+            if (vis == fx.visible.end())
+                continue;
+            for (const std::string &w : fx.own_writes[i]) {
+                const auto hit = std::find_if(
+                    vis->second.begin(), vis->second.end(),
+                    [&w](const auto &kv) {
+                        return keys_alias(w, kv.first);
+                    });
+                if (hit == vis->second.end())
+                    continue;
+                add_violation(
+                    out, f, d.line, "L6",
+                    "annotation drift: read-phase function '" +
+                        display +
+                        "' transitively commits member write to '" +
+                        w + "', which peers read same-cycle during"
+                            " the evaluate phase (via '" +
+                        hit->second +
+                        "'); fix the code or re-annotate"
+                        " CATNAP_PHASE_WRITE");
+                break; // one report per definition is enough
+            }
+        } else if (d.phase == 2) {
+            // Effect-pure WRITE: claims to commit state but its
+            // closed effect set contains no write at all. Virtual
+            // functions are exempt — the annotation describes the
+            // dispatch interface, whose overrides carry the effects.
+            if (d.is_virtual || fx.writes_any[i] != 0)
+                continue;
+            add_violation(
+                out, f, d.line, "L6",
+                "annotation drift: write-phase function '" + display +
+                    "' is effect-pure (no transitive member, "
+                    "parameter, or cross-component write); annotate"
+                    " CATNAP_PHASE_READ or give it the effect it"
+                    " claims");
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// L7: cross-component effects (writes to another instance outside the
+// shard-safety contract)
+// --------------------------------------------------------------------
+
+void
+check_l7(const Program &prog, const Effects &fx,
+         const std::vector<SourceFile> &sources,
+         std::vector<Violation> &out)
+{
+    std::set<std::tuple<int, std::string, std::string>> seen;
+    for (const PeerEdge &e : fx.edges) {
+        if (!e.write || e.shard_safe)
+            continue;
+        const auto di = static_cast<std::size_t>(e.def);
+        if (fx.in_tick[di] == 0)
+            continue;
+        const FunctionDef &d = prog.defs[di];
+        if (d.shard_safe)
+            continue; // inside a declared crossing: it IS the mailbox
+        const SourceFile &f =
+            sources[static_cast<std::size_t>(d.file)];
+        if (!in_contract_scope(f))
+            continue;
+        if (!seen.insert({e.def, e.cls, e.via}).second)
+            continue;
+        const std::string display =
+            d.cls.empty() ? d.name : d.cls + "::" + d.name;
+        add_violation(
+            out, f, e.line, "L7",
+            "cross-component write: tick-path function '" + display +
+                "' mutates state of peer '" + e.cls + "' " +
+                (e.is_field ? "field '" : "via '") + e.via +
+                "', which is a cross-shard race under the sharded"
+                " core; route the effect through a CATNAP_SHARD_SAFE"
+                " function (common/phase.h) or keep it on this"
+                " instance");
+    }
+}
+
+void
+finalize_violations(std::vector<Violation> &violations)
+{
+    // Deterministic order and no duplicates (multiple L4 roots can
+    // converge on the same call site).
+    const auto key = [](const Violation &v) {
+        return std::tie(v.file, v.line, v.rule, v.message);
+    };
+    std::sort(violations.begin(), violations.end(),
+              [&key](const Violation &a, const Violation &b) {
+                  return key(a) < key(b);
+              });
+    violations.erase(
+        std::unique(violations.begin(), violations.end(),
+                    [&key](const Violation &a, const Violation &b) {
+                        return key(a) == key(b);
+                    }),
+        violations.end());
+}
+
+} // namespace catnap_lint

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Rule implementations for catnap_lint (DESIGN.md §9, §11, §14).
+ *
+ *  L1 determinism — no wall clocks, libc/std RNG, or unordered
+ *     containers in simulator code (token-local).
+ *  L2 two-phase discipline — READ functions never directly call WRITE
+ *     functions; evaluate/commit carry annotations (token-local).
+ *  L3 counter safety — no narrowing Cycle casts or bare -1 sentinels
+ *     (token-local).
+ *  L4 interprocedural two-phase — READ never transitively reaches
+ *     WRITE through unannotated helpers (call graph).
+ *  L5 phase coverage — member-state writers reachable from the tick
+ *     path carry a phase annotation (call graph).
+ *  L6 annotation drift — a CATNAP_PHASE_READ function whose inferred
+ *     transitive write set intersects its class's *visible set* (the
+ *     fields peers read same-cycle during the evaluate phase) commits
+ *     state the two-phase discipline assumed latched; conversely a
+ *     non-virtual CATNAP_PHASE_WRITE function that is effect-pure
+ *     claims to commit state but cannot (effects).
+ *  L7 cross-component effects — a tick-path function that mutates
+ *     state owned by a *different* component instance than `this`
+ *     outside a CATNAP_SHARD_SAFE crossing: exactly the accesses that
+ *     become cross-shard races under the sharded core (effects).
+ *
+ * L6/L7 (and the L8 manifest) are scoped to definitions whose file
+ * lives under src/ or was named explicitly on the command line:
+ * tools/model and bench deliberately drive simulator classes
+ * cross-instance from outside the shard model.
+ */
+#ifndef CATNAP_LINT_RULES_H
+#define CATNAP_LINT_RULES_H
+
+#include <string>
+#include <vector>
+
+#include "lint_effects.h"
+#include "lint_graph.h"
+#include "lint_source.h"
+
+namespace catnap_lint {
+
+struct Violation
+{
+    std::string file;
+    int line;
+    std::string rule; // "L1" .. "L8"
+    std::string message;
+};
+
+/** Appends a violation unless suppressed at its line. */
+void add_violation(std::vector<Violation> &out, const SourceFile &f,
+                   int line, const std::string &rule,
+                   const std::string &msg);
+
+/**
+ * Repo-root-relative form of @p path: strips any prefix before the
+ * first `src/`, `tools/`, `bench/`, or `tests/` component so reports
+ * and the effects manifest are independent of the invocation
+ * directory.
+ */
+std::string normalize_path(const std::string &path);
+
+/** True when L6/L7/L8 findings apply to definitions in @p f (see the
+ * file comment). */
+bool in_contract_scope(const SourceFile &f);
+
+void check_l1(const SourceFile &f, std::vector<Violation> &out);
+void check_l2(const SourceFile &f, const PhaseTable &table,
+              std::vector<Violation> &out);
+void check_l3(const SourceFile &f, std::vector<Violation> &out);
+void check_l4(const Program &prog,
+              const std::vector<SourceFile> &sources,
+              std::vector<Violation> &out);
+void check_l5(const Program &prog,
+              const std::vector<SourceFile> &sources,
+              std::vector<Violation> &out);
+void check_l6(const Program &prog, const Effects &fx,
+              const std::vector<SourceFile> &sources,
+              std::vector<Violation> &out);
+void check_l7(const Program &prog, const Effects &fx,
+              const std::vector<SourceFile> &sources,
+              std::vector<Violation> &out);
+
+/** Sorts by (file, line, rule, message) and removes duplicates. */
+void finalize_violations(std::vector<Violation> &violations);
+
+} // namespace catnap_lint
+
+#endif // CATNAP_LINT_RULES_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Source loading and tokenization for catnap_lint (DESIGN.md §9, §11,
+ * §14). Self-contained — no compiler front-end — so the linter runs
+ * anywhere the simulator builds.
+ *
+ * A SourceFile is the token stream of one input plus its suppression
+ * table (`// catnap-lint: allow(...)` comments). Comments and string
+ * or character literal contents are blanked before tokenization while
+ * line structure is preserved, so every token carries its 1-based
+ * source line.
+ */
+#ifndef CATNAP_LINT_SOURCE_H
+#define CATNAP_LINT_SOURCE_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace catnap_lint {
+
+struct Token
+{
+    std::string text;
+    int line;
+};
+
+struct SourceFile
+{
+    std::string path;
+    std::vector<Token> tokens;
+    std::map<int, std::set<std::string>> allowed; // line -> rule ids
+    /// Named directly on the command line (not found by a directory
+    /// walk) — opts the file into the L6/L7/L8 contract scope, which
+    /// is how fixtures exercise those rules.
+    bool explicit_input = false;
+};
+
+bool is_ident_char(char c);
+bool is_ident_start(char c);
+
+/**
+ * True for files on the host-side allowlist: code that orchestrates or
+ * analyses simulations from outside the tick loop. The L1 wall-clock
+ * bans are lifted there (host timeouts and tool timing legitimately
+ * read the host clock) and the files are excluded from the tick-path
+ * call graph. Covers the batch execution engine (src/exec/) and the
+ * lint tool itself (tools/lint/, whose --timing pass reads the host
+ * monotonic clock).
+ */
+bool is_host_side(const std::string &path);
+
+/**
+ * Replaces comments and string/char literal contents with spaces while
+ * preserving line structure, then tokenizes. Two-character operators
+ * that the rules care about (::, ->, ==, !=, <=, >=, &&, ||, <<, the
+ * compound assignments and ++/--) are kept as single tokens. `>>` is
+ * deliberately NOT merged so template closers stay matchable.
+ */
+std::vector<Token> tokenize(const std::string &text);
+
+/** Loads and tokenizes @p path into @p out; false on IO failure. */
+bool load_file(const std::string &path, SourceFile &out);
+
+/** True when rule @p rule is suppressed on @p line of @p f. */
+bool suppressed(const SourceFile &f, int line, const std::string &rule);
+
+/**
+ * Expands one CLI path argument into lintable files: directories are
+ * walked recursively (sub-directories named `fixtures` are skipped —
+ * they hold deliberately-broken lint inputs) and the result is sorted
+ * for deterministic report order.
+ */
+void collect_files(const std::string &arg,
+                   std::vector<std::string> &files);
+
+} // namespace catnap_lint
+
+#endif // CATNAP_LINT_SOURCE_H

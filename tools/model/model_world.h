@@ -202,7 +202,7 @@ class ModelWorld final : public catnap::WakeFaultModel,
         SlotPhase phase = SlotPhase::kIdle;
     };
 
-    void inject_waiting_slots();
+    CATNAP_PHASE_WRITE void inject_waiting_slots();
     CATNAP_PHASE_WRITE void fail_subnet(catnap::SubnetId s,
                                         catnap::NodeId root,
                      catnap::Cycle now);
