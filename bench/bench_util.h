@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/proc_runner.h"
 #include "exec/sweep_runner.h"
 #include "sim/report.h"
 #include "sim/simulator.h"
@@ -92,7 +93,48 @@ struct BenchOptions
      * from-scratch run that warmed at the same base load bit-for-bit.
      */
     bool fork_warmup = false;
+
+    /**
+     * Crash-isolated backend (DESIGN.md §15): run every grid point in
+     * a supervised catnap_sim worker subprocess instead of in-process
+     * threads. Output is bit-identical either way; --isolate adds
+     * crash containment, per-point retry/quarantine, and (with
+     * --journal) kill-and-resume. Incompatible with --fork-warmup
+     * (a warm SyntheticRun cannot cross a process boundary).
+     */
+    bool isolate = false;
+
+    /** Worker executable for --isolate; empty = <bench dir>/../tools/
+     * catnap_sim (the build-tree layout). */
+    std::string worker;
+
+    /** Spec/result exchange directory for --isolate. */
+    std::string scratch = ".catnap-scratch";
+
+    /** Journal path for --isolate (empty = no journal). */
+    std::string journal;
+
+    /** Replay the journal's intact records, run only missing points. */
+    bool resume = false;
+
+    /** Per-attempt wall budget in ms for --isolate (0 = unlimited). */
+    std::int64_t point_timeout_ms = 0;
+
+    /** Extra attempts before quarantine for --isolate. */
+    int point_retries = 2;
 };
+
+/** Build-tree default worker: catnap_sim relative to the bench binary
+ * (bench/ and tools/ are sibling output directories). */
+inline std::string
+default_worker_path(const char *argv0)
+{
+    const std::string self(argv0);
+    const std::size_t slash = self.rfind('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : self.substr(0, slash);
+    return dir + "/../tools/catnap_sim";
+}
 
 /**
  * Parses the shared harness command line. Unknown options are a hard
@@ -111,9 +153,27 @@ parse_options(int argc, char **argv)
             opts.csv = argv[++i];
         } else if (a == "--fork-warmup") {
             opts.fork_warmup = true;
+        } else if (a == "--isolate") {
+            opts.isolate = true;
+        } else if (a == "--worker" && has_value) {
+            opts.worker = argv[++i];
+        } else if (a == "--scratch" && has_value) {
+            opts.scratch = argv[++i];
+        } else if (a == "--journal" && has_value) {
+            opts.journal = argv[++i];
+        } else if (a == "--resume") {
+            opts.resume = true;
+        } else if (a == "--point-timeout" && has_value) {
+            opts.point_timeout_ms = std::atoll(argv[++i]);
+        } else if (a == "--point-retries" && has_value) {
+            opts.point_retries = std::atoi(argv[++i]);
         } else if (a == "--help" || a == "-h") {
             std::printf("usage: %s [--jobs N] [--csv FILE] "
                         "[--fork-warmup]\n"
+                        "          [--isolate [--worker PATH] [--scratch "
+                        "DIR] [--journal FILE]\n"
+                        "           [--resume] [--point-timeout MS] "
+                        "[--point-retries N]]\n"
                         "  --jobs N   worker threads for independent "
                         "simulation points\n"
                         "             (default: one per hardware thread; "
@@ -123,7 +183,13 @@ parse_options(int argc, char **argv)
                         "             warm up once per configuration and "
                         "fork the warm\n"
                         "             state for every load point "
-                        "(checkpoint forking)\n",
+                        "(checkpoint forking)\n"
+                        "  --isolate  run every point in a supervised "
+                        "catnap_sim worker\n"
+                        "             subprocess (crash containment, "
+                        "quarantine, and with\n"
+                        "             --journal/--resume kill-and-resume; "
+                        "DESIGN.md §15)\n",
                         argv[0]);
             std::exit(0);
         } else {
@@ -132,6 +198,20 @@ parse_options(int argc, char **argv)
             std::exit(2);
         }
     }
+    if (opts.isolate && opts.fork_warmup) {
+        std::fprintf(stderr, "%s: --isolate and --fork-warmup are "
+                             "mutually exclusive (a warm in-process run "
+                             "cannot cross the worker boundary)\n",
+                     argv[0]);
+        std::exit(2);
+    }
+    if (opts.resume && opts.journal.empty()) {
+        std::fprintf(stderr, "%s: --resume requires --journal FILE\n",
+                     argv[0]);
+        std::exit(2);
+    }
+    if (opts.isolate && opts.worker.empty())
+        opts.worker = default_worker_path(argv[0]);
     return opts;
 }
 
@@ -210,7 +290,43 @@ run_load_grid(const std::vector<MultiNocConfig> &configs,
         for (double load : loads)
             items.push_back(point(cfg, traffic, rp, load));
 
-    const auto flat = run_batch(items, exec_options(opts));
+    std::vector<SyntheticResult> flat;
+    if (opts.isolate) {
+        // Crash-isolated backend: same items, same item-order results,
+        // bit-identical output; quarantine is a hard failure for a
+        // reproduction harness (a figure must never silently lose
+        // points), reported deterministically then exit 4.
+        ProcOptions po;
+        po.worker = opts.worker;
+        po.scratch_dir = opts.scratch;
+        po.journal = opts.journal;
+        po.resume = opts.resume;
+        po.jobs = opts.jobs;
+        po.max_retries = opts.point_retries;
+        po.timeout_ms = opts.point_timeout_ms;
+        ProcSweepResult sweep;
+        try {
+            ProcRunner runner(po);
+            sweep = runner.run(items);
+        } catch (const std::exception &e) {
+            // Supervisor faults (unusable scratch dir, spawn failure,
+            // corrupt journal path) — not per-point failures, which
+            // quarantine instead.
+            std::fprintf(stderr, "[isolate] fatal: %s\n", e.what());
+            std::exit(1);
+        }
+        std::fprintf(stderr,
+                     "[isolate] %zu worker(s) spawned, %zu point(s) "
+                     "from journal, %zu quarantined\n",
+                     sweep.spawned, sweep.from_journal, sweep.quarantined);
+        if (!sweep.ok()) {
+            std::fputs(sweep.quarantine_summary().c_str(), stderr);
+            std::exit(4);
+        }
+        flat = sweep.merged();
+    } else {
+        flat = run_batch(items, exec_options(opts));
+    }
 
     std::vector<std::vector<SyntheticResult>> grid(configs.size());
     for (std::size_t c = 0; c < configs.size(); ++c) {

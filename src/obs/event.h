@@ -110,10 +110,32 @@ enum class EventKind : std::int8_t {
      * a=worker index, b=0 ok / 1 threw, pkt=duration in microseconds;
      * `cycle` is host microseconds since batch start] */
     kExecJobEnd = 19,
+
+    /**
+     * Crash-isolated sweep backend (exec/proc_runner.h): a worker
+     * subprocess was spawned for a sweep point. Host-time semantics
+     * like kExecJob*: `cycle` is host microseconds since the sweep
+     * started. [node=point index, a=attempt number (1-based), b=pid]
+     */
+    kProcSpawn = 20,
+
+    /** A worker subprocess reached a terminal state. [node=point
+     * index, a=attempt number, b=outcome (PointFailKind: 0 ok, 1 exit,
+     * 2 signal, 3 timeout, 4 bad result), pkt=detail — exit code or
+     * signal number; `cycle` is host microseconds] */
+    kProcExit = 21,
+
+    /** A failed point is being retried after its backoff. [node=point
+     * index, a=next attempt number, b=backoff in milliseconds] */
+    kProcRetry = 22,
+
+    /** A point exhausted its retry budget and was quarantined; the
+     * rest of the sweep continues. [node=point index, a=attempts] */
+    kProcQuarantine = 23,
 };
 
 /** Number of distinct event kinds. */
-inline constexpr int kNumEventKinds = 20;
+inline constexpr int kNumEventKinds = 24;
 
 /** Why a sleeping router was woken (kRouterWakeBegin payload `a`). */
 enum class WakeReason : std::int8_t {

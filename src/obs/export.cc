@@ -98,7 +98,11 @@ write_chrome_trace(std::ostream &os, const EventTrace &trace,
     std::int32_t max_worker = 0;
     trace.for_each([&](const TraceEvent &ev) {
         if (ev.kind == EventKind::kExecJobBegin ||
-            ev.kind == EventKind::kExecJobEnd) {
+            ev.kind == EventKind::kExecJobEnd ||
+            ev.kind == EventKind::kProcSpawn ||
+            ev.kind == EventKind::kProcExit ||
+            ev.kind == EventKind::kProcRetry ||
+            ev.kind == EventKind::kProcQuarantine) {
             // Host-time track: excluded from the cycle-domain maxima
             // (node holds a job index, not a router id).
             has_exec = true;
@@ -258,9 +262,31 @@ write_chrome_trace(std::ostream &os, const EventTrace &trace,
                        << ",\"ok\":" << (ev.b == 0 ? 1 : 0) << "}}";
             break;
           }
+          case EventKind::kProcExit:
+            // Worker lifetimes on the exec host-time track, one tid per
+            // sweep point; b != 0 marks a classified failure.
+            arr.next() << "{\"name\":\"worker pt " << ev.node
+                       << (ev.b == 0 ? "" : " FAIL")
+                       << "\",\"cat\":\"proc\",\"ph\":\"i\",\"ts\":"
+                       << ev.cycle << ",\"pid\":" << kExecTrackPid
+                       << ",\"tid\":" << ev.node
+                       << ",\"s\":\"t\",\"args\":{\"attempt\":" << ev.a
+                       << ",\"outcome\":" << ev.b
+                       << ",\"detail\":" << ev.pkt << "}}";
+            break;
+          case EventKind::kProcQuarantine:
+            arr.next() << "{\"name\":\"quarantined pt " << ev.node
+                       << "\",\"cat\":\"proc\",\"ph\":\"i\",\"ts\":"
+                       << ev.cycle << ",\"pid\":" << kExecTrackPid
+                       << ",\"tid\":" << ev.node
+                       << ",\"s\":\"p\",\"args\":{\"attempts\":" << ev.a
+                       << "}}";
+            break;
           case EventKind::kFlitEject:
           case EventKind::kSubnetSelect:
           case EventKind::kExecJobBegin:
+          case EventKind::kProcSpawn:
+          case EventKind::kProcRetry:
             break; // JSONL-only detail; spans/counters cover the story
         }
     });

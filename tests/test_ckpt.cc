@@ -16,6 +16,7 @@
 #include "bench/bench_util.h"
 #include "ckpt/archive.h"
 #include "ckpt/checkpoint.h"
+#include "ckpt/journal.h"
 #include "fault/fault.h"
 #include "noc/multinoc.h"
 #include "sim/simulator.h"
@@ -525,6 +526,119 @@ TEST(CkptApp, CmpSystemRoundTripAndBehavioralIdentity)
     EXPECT_EQ(wa2.bytes(), wb2.bytes());
     EXPECT_EQ(a.total_retired(), b.total_retired());
     EXPECT_EQ(a.misses_completed(), b.misses_completed());
+}
+
+// ---------------------------------------------------------------------
+// Sweep journal (ckpt/journal.h, DESIGN.md §15)
+// ---------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+bytes_of(const std::string &s)
+{
+    return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TEST(CkptJournal, RoundTripsRecordsInAppendOrder)
+{
+    std::vector<std::uint8_t> buf;
+    ckpt::append_record(buf, 0x1111, bytes_of("first"));
+    ckpt::append_record(buf, 0x2222, bytes_of(""));
+    ckpt::append_record(buf, 0x3333, bytes_of("third payload"));
+
+    const ckpt::JournalScan scan = ckpt::scan_journal(buf);
+    ASSERT_EQ(scan.records.size(), 3u);
+    EXPECT_EQ(scan.discarded_bytes, 0u);
+    EXPECT_EQ(scan.valid_bytes, buf.size());
+    EXPECT_EQ(scan.records[0].key, 0x1111u);
+    EXPECT_EQ(scan.records[0].payload, bytes_of("first"));
+    EXPECT_EQ(scan.records[1].key, 0x2222u);
+    EXPECT_TRUE(scan.records[1].payload.empty());
+    EXPECT_EQ(scan.records[2].key, 0x3333u);
+    EXPECT_EQ(scan.records[2].payload, bytes_of("third payload"));
+}
+
+TEST(CkptJournal, TornTailKeepsEveryIntactPrefixRecord)
+{
+    // A supervisor killed mid-append leaves a partial final record at
+    // every possible cut point; the scan must keep both whole records
+    // and report exactly the torn bytes as discarded.
+    std::vector<std::uint8_t> whole;
+    ckpt::append_record(whole, 1, bytes_of("alpha"));
+    ckpt::append_record(whole, 2, bytes_of("beta"));
+    const std::size_t two = whole.size();
+    ckpt::append_record(whole, 3, bytes_of("gamma"));
+
+    for (std::size_t cut = two; cut < whole.size(); ++cut) {
+        const ckpt::JournalScan scan = ckpt::scan_journal(whole.data(), cut);
+        ASSERT_EQ(scan.records.size(), 2u) << "cut=" << cut;
+        EXPECT_EQ(scan.valid_bytes, two);
+        EXPECT_EQ(scan.discarded_bytes, cut - two);
+    }
+}
+
+TEST(CkptJournal, CorruptionStopsTheScanAtTheDamage)
+{
+    std::vector<std::uint8_t> buf;
+    ckpt::append_record(buf, 1, bytes_of("keep me"));
+    const std::size_t first = buf.size();
+    ckpt::append_record(buf, 2, bytes_of("damaged"));
+    ckpt::append_record(buf, 3, bytes_of("unreachable"));
+
+    // Flip one payload byte of the middle record: its CRC fails, and
+    // the intact third record after it must NOT be trusted either.
+    buf[first + ckpt::kJournalRecordHeaderBytes] ^= 0x01;
+    const ckpt::JournalScan scan = ckpt::scan_journal(buf);
+    ASSERT_EQ(scan.records.size(), 1u);
+    EXPECT_EQ(scan.records[0].key, 1u);
+    EXPECT_EQ(scan.valid_bytes, first);
+    EXPECT_EQ(scan.discarded_bytes, buf.size() - first);
+
+    // Bad magic stops the scan the same way.
+    std::vector<std::uint8_t> bad;
+    ckpt::append_record(bad, 7, bytes_of("x"));
+    const std::size_t one = bad.size();
+    ckpt::append_record(bad, 8, bytes_of("y"));
+    bad[one] ^= 0xff;
+    EXPECT_EQ(ckpt::scan_journal(bad).records.size(), 1u);
+}
+
+TEST(CkptJournal, WriterAppendModePreservesExistingRecords)
+{
+    const std::string path =
+        ::testing::TempDir() + "catnap_journal_test.bin";
+    std::remove(path.c_str());
+    {
+        ckpt::JournalWriter w(path, ckpt::JournalWriter::Mode::kTruncate);
+        w.append(10, bytes_of("one"));
+        EXPECT_EQ(w.appended(), 1u);
+    }
+    {
+        ckpt::JournalWriter w(path, ckpt::JournalWriter::Mode::kAppend);
+        w.append(20, bytes_of("two"));
+    }
+    ckpt::JournalScan scan = ckpt::load_journal(path);
+    ASSERT_EQ(scan.records.size(), 2u);
+    EXPECT_EQ(scan.records[0].key, 10u);
+    EXPECT_EQ(scan.records[1].key, 20u);
+
+    // Truncate mode discards history.
+    {
+        ckpt::JournalWriter w(path, ckpt::JournalWriter::Mode::kTruncate);
+        w.append(30, bytes_of("three"));
+    }
+    scan = ckpt::load_journal(path);
+    ASSERT_EQ(scan.records.size(), 1u);
+    EXPECT_EQ(scan.records[0].key, 30u);
+    std::remove(path.c_str());
+}
+
+TEST(CkptJournal, MissingFileLoadsAsEmptyScan)
+{
+    const ckpt::JournalScan scan =
+        ckpt::load_journal("/nonexistent/dir/journal.bin");
+    EXPECT_TRUE(scan.records.empty());
+    EXPECT_EQ(scan.valid_bytes, 0u);
+    EXPECT_EQ(scan.discarded_bytes, 0u);
 }
 
 } // namespace

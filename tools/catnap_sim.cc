@@ -8,6 +8,8 @@
  *   catnap_sim --mode app --workload heavy --subnets 4 --gating catnap
  *   catnap_sim --help
  */
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,8 +17,12 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "app/system.h"
 #include "ckpt/checkpoint.h"
+#include "exec/point_codec.h"
+#include "exec/proc_runner.h"
 #include "exec/sweep_runner.h"
 #include "obs/export.h"
 #include "obs/snapshot.h"
@@ -27,6 +33,13 @@
 using namespace catnap;
 
 namespace {
+
+// Exit codes (documented in --help): supervisors and CI scripts key off
+// these, so each failure class gets its own code.
+constexpr int kExitRuntime = 1;    ///< simulation / checkpoint error
+constexpr int kExitUsage = 2;      ///< unknown option or malformed CLI
+constexpr int kExitBadValue = 3;   ///< syntactically valid flag, invalid value
+constexpr int kExitQuarantine = 4; ///< isolated sweep left quarantined points
 
 [[noreturn]] void
 usage(int code)
@@ -95,7 +108,35 @@ usage(int code)
         "                                probability per RCS latch\n"
         "  --fault-seed N                fault RNG stream seed\n"
         "  --fault-wake-timeout N        cycles before a wake is retried\n"
-        "  --fault-packet-timeout N      end-to-end deadline per attempt\n");
+        "  --fault-packet-timeout N      end-to-end deadline per attempt\n"
+        "crash isolation (synthetic --loads mode; DESIGN.md §15):\n"
+        "  --isolate                 run each sweep point in a supervised\n"
+        "                            worker subprocess: crashes, hangs,\n"
+        "                            and bad exits are contained,\n"
+        "                            classified, retried, and finally\n"
+        "                            quarantined while the rest of the\n"
+        "                            sweep completes\n"
+        "  --worker PATH             worker executable (default: this\n"
+        "                            binary)\n"
+        "  --scratch DIR             spec/result exchange directory\n"
+        "                            (default .catnap-scratch)\n"
+        "  --journal FILE            append every finished point to a\n"
+        "                            CRC-checked journal\n"
+        "  --resume                  replay FILE's intact records, run\n"
+        "                            only missing points (needs --journal;\n"
+        "                            merged output is bit-identical to an\n"
+        "                            uninterrupted run)\n"
+        "  --point-timeout MS        per-attempt wall-clock budget; hung\n"
+        "                            workers are SIGKILLed (0 = unlimited)\n"
+        "  --point-retries N         extra attempts before quarantine\n"
+        "                            (default 2)\n"
+        "  --worker-spec F --worker-out F\n"
+        "                            (internal) worker mode: run the one\n"
+        "                            point sealed in F, write the result\n"
+        "exit codes:\n"
+        "  0 success                 1 simulation/runtime error\n"
+        "  2 usage error             3 invalid configuration value\n"
+        "  4 sweep finished with quarantined point(s)\n");
     std::exit(code);
 }
 
@@ -104,9 +145,84 @@ need_value(int argc, char **argv, int &i)
 {
     if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", argv[i]);
-        usage(2);
+        usage(kExitUsage);
     }
     return argv[++i];
+}
+
+/** Rejects a flag value with a precise reason; exits kExitBadValue so
+ * scripts can tell "bad config" from "bad CLI" and "sim died". */
+[[noreturn]] void
+die_value(const char *flag, const std::string &value, const std::string &why)
+{
+    std::fprintf(stderr, "catnap_sim: invalid value '%s' for %s: %s\n",
+                 value.c_str(), flag, why.c_str());
+    std::exit(kExitBadValue);
+}
+
+/** Strict integer parse: whole-string, in [lo, hi], no silent atoi
+ * truncation ("--subnets 4x" and "--subnets 99999" both die loudly). */
+long long
+parse_int(const char *flag, const std::string &value, long long lo,
+          long long hi)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(value.c_str(), &end, 10);
+    if (value.empty() || *end != '\0' || end == value.c_str())
+        die_value(flag, value, "not an integer");
+    if (errno == ERANGE || v < lo || v > hi) {
+        die_value(flag, value, "must be in [" + std::to_string(lo) + ", " +
+                                   std::to_string(hi) + "]");
+    }
+    return v;
+}
+
+/** Strict unsigned parse (seeds, cycle counts): rejects '-1' instead of
+ * wrapping it to 2^64-1. */
+unsigned long long
+parse_uint(const char *flag, const std::string &value,
+           unsigned long long hi = ~0ull)
+{
+    if (!value.empty() && value[0] == '-')
+        die_value(flag, value, "must be non-negative");
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || *end != '\0' || end == value.c_str())
+        die_value(flag, value, "not an integer");
+    if (errno == ERANGE || v > hi)
+        die_value(flag, value, "must be at most " + std::to_string(hi));
+    return v;
+}
+
+/** Strict real parse: whole-string, finite (NaN and inf rejected — a
+ * NaN load silently poisons every downstream metric), in [lo, hi]. */
+double
+parse_real(const char *flag, const std::string &value, double lo, double hi)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(value.c_str(), &end);
+    if (value.empty() || *end != '\0' || end == value.c_str())
+        die_value(flag, value, "not a number");
+    if (!std::isfinite(v))
+        die_value(flag, value, "must be finite (NaN/inf rejected)");
+    char range[96];
+    std::snprintf(range, sizeof range, "must be in [%g, %g]", lo, hi);
+    if (errno == ERANGE || v < lo || v > hi)
+        die_value(flag, value, range);
+    return v;
+}
+
+/** An offered load: finite, strictly positive, sane upper bound. */
+double
+parse_load(const char *flag, const std::string &value)
+{
+    const double v = parse_real(flag, value, 0.0, 8.0);
+    if (v <= 0.0)
+        die_value(flag, value, "offered load must be > 0");
+    return v;
 }
 
 SelectorKind
@@ -189,9 +305,11 @@ parse_fields(const char *flag, const std::string &value, std::size_t want,
         pos = next + 1;
     }
     if (fields.size() != want + (tail != nullptr ? 1 : 0)) {
-        std::fprintf(stderr, "expected %zu ':'-separated fields in %s %s\n",
-                     want + (tail != nullptr ? 1 : 0), flag, value.c_str());
-        usage(2);
+        die_value(flag, value,
+                  "expected " +
+                      std::to_string(want + (tail != nullptr ? 1 : 0)) +
+                      " ':'-separated fields, got " +
+                      std::to_string(fields.size()));
     }
     if (tail != nullptr) {
         *tail = fields.back();
@@ -200,12 +318,13 @@ parse_fields(const char *flag, const std::string &value, std::size_t want,
     std::vector<long long> out;
     for (const std::string &field : fields) {
         char *end = nullptr;
+        errno = 0;
         const long long v = std::strtoll(field.c_str(), &end, 10);
-        if (field.empty() || *end != '\0' || v < 0) {
-            std::fprintf(stderr, "bad field '%s' in %s %s\n",
-                         field.c_str(), flag, value.c_str());
-            usage(2);
-        }
+        if (field.empty() || *end != '\0')
+            die_value(flag, value, "field '" + field + "' is not an integer");
+        if (errno == ERANGE || v < 0)
+            die_value(flag, value,
+                      "field '" + field + "' must be non-negative");
         out.push_back(v);
     }
     return out;
@@ -234,17 +353,46 @@ parse_loads(const char *flag, const std::string &value)
         if (next == std::string::npos)
             next = value.size();
         const std::string field = value.substr(pos, next - pos);
-        char *end = nullptr;
-        const double v = std::strtod(field.c_str(), &end);
-        if (field.empty() || *end != '\0' || v <= 0.0) {
-            std::fprintf(stderr, "bad load '%s' in %s %s\n", field.c_str(),
-                         flag, value.c_str());
-            usage(2);
-        }
-        loads.push_back(v);
+        loads.push_back(parse_load(flag, field));
         pos = next + 1;
     }
     return loads;
+}
+
+/** Absolute path of the running binary, for the default --worker: the
+ * supervisor re-executes itself in worker mode. */
+std::string
+self_exe_path(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return std::string(buf);
+    }
+    return std::string(argv0);
+}
+
+/**
+ * Worker mode (DESIGN.md §15): run exactly one sweep point from a
+ * sealed spec file and write the sealed result. Deliberately silent on
+ * stdout — the supervisor owns all reporting — and fully sandboxed by
+ * the process boundary: any throw, abort, or crash here is classified
+ * by the supervisor, never propagated.
+ */
+int
+run_worker(const std::string &spec_path, const std::string &out_path)
+{
+    try {
+        const RunItem item = decode_point_spec(ckpt::read_file(spec_path));
+        const SyntheticResult res =
+            run_synthetic(item.cfg, item.traffic, item.params);
+        ckpt::write_file(out_path, encode_point_result(item, res));
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "catnap_sim worker: %s\n", e.what());
+        return kExitRuntime;
+    }
 }
 
 void
@@ -282,15 +430,26 @@ main(int argc, char **argv)
     std::string save_ckpt;
     std::string load_ckpt;
     Cycle ckpt_every = 0;
+    bool isolate = false;
+    bool resume = false;
+    std::string worker_path;
+    std::string scratch_dir = ".catnap-scratch";
+    std::string journal_path;
+    std::int64_t point_timeout_ms = 0;
+    int point_retries = 2;
+    std::string worker_spec;
+    std::string worker_out;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--help" || a == "-h") usage(0);
         else if (a == "--mode") mode = need_value(argc, argv, i);
         else if (a == "--subnets")
-            cfg.num_subnets = std::atoi(need_value(argc, argv, i));
+            cfg.num_subnets = static_cast<int>(
+                parse_int(a.c_str(), need_value(argc, argv, i), 1, 16));
         else if (a == "--width")
-            cfg.total_link_bits = std::atoi(need_value(argc, argv, i));
+            cfg.total_link_bits = static_cast<int>(parse_int(
+                a.c_str(), need_value(argc, argv, i), 1, 1 << 20));
         else if (a == "--selector")
             cfg.selector = parse_selector(need_value(argc, argv, i));
         else if (a == "--gating")
@@ -298,35 +457,44 @@ main(int argc, char **argv)
         else if (a == "--metric")
             cfg.congestion.metric = parse_metric(need_value(argc, argv, i));
         else if (a == "--threshold")
-            threshold = std::atof(need_value(argc, argv, i));
+            threshold = parse_real(a.c_str(), need_value(argc, argv, i),
+                                   0.0, 1e9);
         else if (a == "--no-rcs") cfg.congestion.use_rcs = false;
         else if (a == "--mesh") {
-            const int w = std::atoi(need_value(argc, argv, i));
+            // Lower bound 2: a zero- or one-node "mesh" has no links to
+            // route over and every pattern degenerates.
+            const int w = static_cast<int>(
+                parse_int(a.c_str(), need_value(argc, argv, i), 2, 64));
             cfg.mesh_width = cfg.mesh_height = w;
             cfg.region_width = w >= 8 ? 4 : (w >= 4 ? 2 : 1);
         } else if (a == "--pattern")
             traffic.pattern = parse_pattern(need_value(argc, argv, i));
         else if (a == "--load")
-            traffic.load = std::atof(need_value(argc, argv, i));
+            traffic.load = parse_load(a.c_str(), need_value(argc, argv, i));
         else if (a == "--packet-bits")
-            traffic.packet_bits = std::atoi(need_value(argc, argv, i));
+            traffic.packet_bits = static_cast<int>(parse_int(
+                a.c_str(), need_value(argc, argv, i), 1, 1 << 20));
         else if (a == "--workload")
             workload = need_value(argc, argv, i);
         else if (a == "--warmup")
-            rp.warmup = ap.warmup =
-                static_cast<Cycle>(std::atoll(need_value(argc, argv, i)));
-        else if (a == "--measure")
-            rp.measure = ap.measure =
-                static_cast<Cycle>(std::atoll(need_value(argc, argv, i)));
-        else if (a == "--seed")
-            rp.seed = ap.seed = static_cast<std::uint64_t>(
-                std::atoll(need_value(argc, argv, i)));
+            rp.warmup = ap.warmup = static_cast<Cycle>(parse_uint(
+                a.c_str(), need_value(argc, argv, i), 1000000000000ull));
+        else if (a == "--measure") {
+            rp.measure = ap.measure = static_cast<Cycle>(parse_uint(
+                a.c_str(), need_value(argc, argv, i), 1000000000000ull));
+            if (rp.measure == 0)
+                die_value(a.c_str(), "0",
+                          "measurement phase must be at least 1 cycle");
+        } else if (a == "--seed")
+            rp.seed = ap.seed =
+                parse_uint(a.c_str(), need_value(argc, argv, i));
         else if (a == "--no-vscale")
             rp.voltage_scaling = ap.voltage_scaling = false;
         else if (a == "--loads")
             sweep_loads = parse_loads(a.c_str(), need_value(argc, argv, i));
         else if (a == "--jobs")
-            jobs = std::atoi(need_value(argc, argv, i));
+            jobs = static_cast<int>(
+                parse_int(a.c_str(), need_value(argc, argv, i), 0, 4096));
         else if (a == "--csv")
             csv_out = need_value(argc, argv, i);
         else if (a == "--save-ckpt")
@@ -334,20 +502,40 @@ main(int argc, char **argv)
         else if (a == "--load-ckpt")
             load_ckpt = need_value(argc, argv, i);
         else if (a == "--ckpt-every")
-            ckpt_every =
-                static_cast<Cycle>(std::atoll(need_value(argc, argv, i)));
+            ckpt_every = static_cast<Cycle>(parse_uint(
+                a.c_str(), need_value(argc, argv, i), 1000000000000ull));
         else if (a == "--trace-out")
             trace_out = need_value(argc, argv, i);
         else if (a == "--trace-jsonl")
             trace_jsonl = need_value(argc, argv, i);
         else if (a == "--trace-events")
-            trace_capacity = static_cast<std::size_t>(
-                std::atoll(need_value(argc, argv, i)));
+            trace_capacity = static_cast<std::size_t>(parse_int(
+                a.c_str(), need_value(argc, argv, i), 1, 1ll << 32));
         else if (a == "--snapshot-every")
-            snapshot_every =
-                static_cast<Cycle>(std::atoll(need_value(argc, argv, i)));
+            snapshot_every = static_cast<Cycle>(parse_uint(
+                a.c_str(), need_value(argc, argv, i), 1000000000000ull));
         else if (a == "--snapshot-out")
             snapshot_out = need_value(argc, argv, i);
+        else if (a == "--isolate")
+            isolate = true;
+        else if (a == "--resume")
+            resume = true;
+        else if (a == "--worker")
+            worker_path = need_value(argc, argv, i);
+        else if (a == "--scratch")
+            scratch_dir = need_value(argc, argv, i);
+        else if (a == "--journal")
+            journal_path = need_value(argc, argv, i);
+        else if (a == "--point-timeout")
+            point_timeout_ms = static_cast<std::int64_t>(parse_uint(
+                a.c_str(), need_value(argc, argv, i), 86400000ull));
+        else if (a == "--point-retries")
+            point_retries = static_cast<int>(
+                parse_int(a.c_str(), need_value(argc, argv, i), 0, 100));
+        else if (a == "--worker-spec")
+            worker_spec = need_value(argc, argv, i);
+        else if (a == "--worker-out")
+            worker_out = need_value(argc, argv, i);
         else if (a == "--fault-kill-router") {
             const auto f =
                 parse_fields(a.c_str(), need_value(argc, argv, i), 3);
@@ -390,22 +578,55 @@ main(int argc, char **argv)
                                  static_cast<SubnetId>(f[1]),
                                  static_cast<NodeId>(f[2]));
         } else if (a == "--fault-wake-loss-prob")
-            cfg.fault.wake_loss_prob = std::atof(need_value(argc, argv, i));
+            cfg.fault.wake_loss_prob = parse_real(
+                a.c_str(), need_value(argc, argv, i), 0.0, 1.0);
         else if (a == "--fault-rcs-glitch-prob")
-            cfg.fault.rcs_glitch_prob = std::atof(need_value(argc, argv, i));
+            cfg.fault.rcs_glitch_prob = parse_real(
+                a.c_str(), need_value(argc, argv, i), 0.0, 1.0);
         else if (a == "--fault-seed")
-            cfg.fault.seed = static_cast<std::uint64_t>(
-                std::atoll(need_value(argc, argv, i)));
+            cfg.fault.seed =
+                parse_uint(a.c_str(), need_value(argc, argv, i));
         else if (a == "--fault-wake-timeout")
-            cfg.fault.tuning.t_wake_timeout =
-                static_cast<Cycle>(std::atoll(need_value(argc, argv, i)));
+            cfg.fault.tuning.t_wake_timeout = static_cast<Cycle>(parse_uint(
+                a.c_str(), need_value(argc, argv, i), 1000000000000ull));
         else if (a == "--fault-packet-timeout")
-            cfg.fault.tuning.packet_timeout =
-                static_cast<Cycle>(std::atoll(need_value(argc, argv, i)));
+            cfg.fault.tuning.packet_timeout = static_cast<Cycle>(parse_uint(
+                a.c_str(), need_value(argc, argv, i), 1000000000000ull));
         else {
             std::fprintf(stderr, "unknown option: %s\n", a.c_str());
-            usage(2);
+            usage(kExitUsage);
         }
+    }
+
+    // Worker mode short-circuits everything else: the spec file is the
+    // whole configuration (see run_worker above).
+    if (!worker_spec.empty() || !worker_out.empty()) {
+        if (worker_spec.empty() || worker_out.empty()) {
+            std::fprintf(stderr, "--worker-spec and --worker-out are "
+                                 "required together\n");
+            usage(kExitUsage);
+        }
+        return run_worker(worker_spec, worker_out);
+    }
+
+    // Cross-field checks the per-flag parsers cannot see.
+    if (cfg.total_link_bits < cfg.num_subnets) {
+        die_value("--width", std::to_string(cfg.total_link_bits),
+                  "fewer aggregate bits than subnets leaves a zero-width "
+                  "datapath per subnet");
+    }
+    if (resume && journal_path.empty()) {
+        std::fprintf(stderr, "--resume requires --journal FILE\n");
+        usage(kExitUsage);
+    }
+    if ((resume || !journal_path.empty()) && !isolate) {
+        std::fprintf(stderr, "--journal/--resume require --isolate\n");
+        usage(kExitUsage);
+    }
+    if (isolate && (mode != "synthetic" || sweep_loads.empty())) {
+        std::fprintf(stderr, "--isolate applies to synthetic --loads "
+                             "sweeps\n");
+        usage(kExitUsage);
     }
     cfg.congestion.threshold =
         threshold >= 0.0
@@ -427,10 +648,52 @@ main(int argc, char **argv)
                                  "available with --loads\n");
             usage(2);
         }
-        ExecOptions eo;
-        eo.jobs = jobs;
-        const std::vector<SyntheticResult> rows =
-            sweep_load_parallel(cfg, traffic, rp, sweep_loads, eo);
+        std::vector<SyntheticResult> rows;
+        if (isolate) {
+            // Crash-isolated backend: one supervised worker subprocess
+            // per point, journalled and resumable; merged rows are
+            // bit-identical to the in-process sweep below.
+            std::vector<RunItem> items;
+            items.reserve(sweep_loads.size());
+            for (const double load : sweep_loads) {
+                RunItem item;
+                item.cfg = cfg;
+                item.traffic = traffic;
+                item.traffic.load = load;
+                item.params = rp;
+                items.push_back(std::move(item));
+            }
+            ProcOptions po;
+            po.worker = worker_path.empty() ? self_exe_path(argv[0])
+                                            : worker_path;
+            po.scratch_dir = scratch_dir;
+            po.journal = journal_path;
+            po.resume = resume;
+            po.jobs = jobs;
+            po.max_retries = point_retries;
+            po.timeout_ms = point_timeout_ms;
+            ProcSweepResult sweep;
+            try {
+                ProcRunner runner(po);
+                sweep = runner.run(items);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "catnap_sim: %s\n", e.what());
+                return kExitRuntime;
+            }
+            std::printf("isolate      : %zu worker(s) spawned, %zu "
+                        "point(s) from journal, %zu quarantined\n",
+                        sweep.spawned, sweep.from_journal,
+                        sweep.quarantined);
+            if (!sweep.ok()) {
+                std::fputs(sweep.quarantine_summary().c_str(), stderr);
+                return kExitQuarantine;
+            }
+            rows = sweep.merged();
+        } else {
+            ExecOptions eo;
+            eo.jobs = jobs;
+            rows = sweep_load_parallel(cfg, traffic, rp, sweep_loads, eo);
+        }
         std::printf("config       : %s (%dx%d mesh, %s selector, %s)\n",
                     rows.front().config_label.c_str(), cfg.mesh_width,
                     cfg.mesh_height, selector_kind_name(cfg.selector),
