@@ -71,11 +71,11 @@ class CoreModel
 
     /** Appends the core's evolving state (RNG, retirement progress,
      * outstanding misses, phase machine). */
-    CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const;
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const;
 
     /** Restores what Serialize() wrote into an identically configured
      * core. */
-    CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r);
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r);
 
   private:
     CATNAP_PHASE_WRITE void enter_phase(Cycle now, bool quiet);

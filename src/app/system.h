@@ -128,11 +128,11 @@ class CmpSystem
      * counters, and the deferred-send queue. MC placement and packet
      * sinks are wiring, rebuilt by the constructor on restore.
      */
-    CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const;
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const;
 
     /** Restores what Serialize() wrote into a system constructed from
      * the identical config/mix/params. */
-    CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r);
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r);
 
   private:
     /** Message kinds carried in the packet user tag. */

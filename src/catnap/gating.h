@@ -101,10 +101,10 @@ class GatingPolicy
      * is serialized). Router attachments and the fault model are wiring,
      * rebuilt by the MultiNoc constructor on restore.
      */
-    CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const;
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const;
 
     /** Restores what Serialize() wrote. */
-    CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r);
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r);
 
   protected:
     /** Services wake requests for every attached router. */

@@ -119,8 +119,8 @@ class RoundRobinSelector final : public SubnetSelector
                     const std::vector<bool> &slot_free, int backlog_flits,
                     Cycle now) override;
 
-    CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const override;
-    CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r) override;
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const override;
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r) override;
 
   private:
     int num_subnets_;
@@ -137,8 +137,8 @@ class RandomSelector final : public SubnetSelector
                     const std::vector<bool> &slot_free, int backlog_flits,
                     Cycle now) override;
 
-    CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const override;
-    CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r) override;
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const override;
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r) override;
 
   private:
     int num_subnets_;
@@ -176,8 +176,8 @@ class CatnapSelector final : public SubnetSelector
                     const std::vector<bool> &slot_free, int backlog_flits,
                     Cycle now) override;
 
-    CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const override;
-    CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r) override;
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const override;
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r) override;
 
   private:
     int num_subnets_;

@@ -124,7 +124,7 @@ class InvariantChecker
     void check_congestion_causality(const MultiNoc &noc, Cycle now);
     CATNAP_PHASE_WRITE void check_forward_progress(const MultiNoc &noc, Cycle now);
     CATNAP_PHASE_WRITE void capture_shadow(const MultiNoc &noc);
-    CATNAP_PHASE_WRITE void report(InvariantViolation::Kind kind, Cycle now,
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void report(InvariantViolation::Kind kind, Cycle now,
                 std::string message);
 
     Options opts_;

@@ -61,14 +61,14 @@ class Writer
 {
   public:
     /** Appends one byte. */
-    CATNAP_PHASE_READ void
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void
     put_u8(std::uint8_t v)
     {
         buf_.push_back(v);
     }
 
     /** Appends a 32-bit unsigned integer, little-endian. */
-    CATNAP_PHASE_READ void
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void
     put_u32(std::uint32_t v)
     {
         for (int i = 0; i < 4; ++i)
@@ -76,7 +76,7 @@ class Writer
     }
 
     /** Appends a 64-bit unsigned integer, little-endian. */
-    CATNAP_PHASE_READ void
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void
     put_u64(std::uint64_t v)
     {
         for (int i = 0; i < 8; ++i)
@@ -84,21 +84,21 @@ class Writer
     }
 
     /** Appends a 32-bit signed integer (two's complement). */
-    CATNAP_PHASE_READ void
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void
     put_i32(std::int32_t v)
     {
         put_u32(static_cast<std::uint32_t>(v));
     }
 
     /** Appends a 64-bit signed integer (two's complement). */
-    CATNAP_PHASE_READ void
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void
     put_i64(std::int64_t v)
     {
         put_u64(static_cast<std::uint64_t>(v));
     }
 
     /** Appends an IEEE-754 double by bit pattern. */
-    CATNAP_PHASE_READ void
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void
     put_double(double v)
     {
         std::uint64_t bits = 0;
@@ -107,14 +107,14 @@ class Writer
     }
 
     /** Appends a bool as one byte (0 or 1). */
-    CATNAP_PHASE_READ void
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void
     put_bool(bool v)
     {
         put_u8(v ? std::uint8_t{1} : std::uint8_t{0});
     }
 
     /** Appends a length-prefixed byte string. */
-    CATNAP_PHASE_READ void
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void
     put_string(const std::string &s)
     {
         put_u64(s.size());
@@ -153,7 +153,7 @@ class Reader
     }
 
     /** Consumes one byte. */
-    CATNAP_PHASE_WRITE std::uint8_t
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE std::uint8_t
     take_u8()
     {
         need(1);
@@ -161,7 +161,7 @@ class Reader
     }
 
     /** Consumes a little-endian 32-bit unsigned integer. */
-    CATNAP_PHASE_WRITE std::uint32_t
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE std::uint32_t
     take_u32()
     {
         need(4);
@@ -174,7 +174,7 @@ class Reader
     }
 
     /** Consumes a little-endian 64-bit unsigned integer. */
-    CATNAP_PHASE_WRITE std::uint64_t
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE std::uint64_t
     take_u64()
     {
         need(8);
@@ -187,21 +187,21 @@ class Reader
     }
 
     /** Consumes a 32-bit signed integer. */
-    CATNAP_PHASE_WRITE std::int32_t
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE std::int32_t
     take_i32()
     {
         return static_cast<std::int32_t>(take_u32());
     }
 
     /** Consumes a 64-bit signed integer. */
-    CATNAP_PHASE_WRITE std::int64_t
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE std::int64_t
     take_i64()
     {
         return static_cast<std::int64_t>(take_u64());
     }
 
     /** Consumes an IEEE-754 double by bit pattern. */
-    CATNAP_PHASE_WRITE double
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE double
     take_double()
     {
         const std::uint64_t bits = take_u64();
@@ -211,7 +211,7 @@ class Reader
     }
 
     /** Consumes a bool; rejects encodings other than 0/1. */
-    CATNAP_PHASE_WRITE bool
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE bool
     take_bool()
     {
         const std::uint8_t v = take_u8();
@@ -223,7 +223,7 @@ class Reader
     }
 
     /** Consumes a length-prefixed byte string. */
-    CATNAP_PHASE_WRITE std::string
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE std::string
     take_string()
     {
         const std::uint64_t n = take_u64();
@@ -241,7 +241,7 @@ class Reader
     bool exhausted() const { return pos_ == size_; }
 
     /** Throws unless the archive was consumed exactly (no trailing bytes). */
-    CATNAP_PHASE_READ void
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void
     expect_exhausted() const
     {
         if (pos_ != size_)

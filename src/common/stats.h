@@ -69,7 +69,7 @@ class RunningStat
     double max() const { return n_ ? max_ : 0.0; }
 
     /** Appends the accumulator state to a checkpoint (DESIGN.md §13). */
-    CATNAP_PHASE_READ void
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void
     Serialize(ckpt::Writer &w) const
     {
         w.put_u64(n_);
@@ -81,7 +81,7 @@ class RunningStat
     }
 
     /** Restores the accumulator state from a checkpoint. */
-    CATNAP_PHASE_WRITE void
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void
     Deserialize(ckpt::Reader &r)
     {
         n_ = r.take_u64();
@@ -153,7 +153,7 @@ class Histogram
     }
 
     /** Appends the histogram state to a checkpoint (DESIGN.md §13). */
-    CATNAP_PHASE_READ void
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void
     Serialize(ckpt::Writer &w) const
     {
         w.put_double(width_);
@@ -164,7 +164,7 @@ class Histogram
     }
 
     /** Restores the histogram state from a checkpoint. */
-    CATNAP_PHASE_WRITE void
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void
     Deserialize(ckpt::Reader &r)
     {
         width_ = r.take_double();
@@ -220,7 +220,7 @@ class WindowedSeries
     std::uint64_t window() const { return window_; }
 
     /** Appends the sampler state to a checkpoint (DESIGN.md §13). */
-    CATNAP_PHASE_READ void
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void
     Serialize(ckpt::Writer &w) const
     {
         w.put_u64(window_);
@@ -232,7 +232,7 @@ class WindowedSeries
     }
 
     /** Restores the sampler state from a checkpoint. */
-    CATNAP_PHASE_WRITE void
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void
     Deserialize(ckpt::Reader &r)
     {
         window_ = r.take_u64();

@@ -106,11 +106,11 @@ class FaultController final : public WakeFaultModel
      * derived deterministically from the plan by the constructor and are
      * not serialized — only the cursors into them are.
      */
-    CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const;
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const;
 
     /** Restores what Serialize() wrote into a controller built from the
      * same plan. */
-    CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r);
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r);
 
   private:
     /** A wake deferred by a kDelayedWake window, waiting to mature. */

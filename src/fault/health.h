@@ -93,7 +93,7 @@ class HealthMask
     }
 
     /** Appends the health bits to a checkpoint (DESIGN.md §13). */
-    CATNAP_PHASE_READ void
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void
     Serialize(ckpt::Writer &w) const
     {
         w.put_u64(healthy_.size());
@@ -102,7 +102,7 @@ class HealthMask
     }
 
     /** Restores the health bits from a checkpoint. */
-    CATNAP_PHASE_WRITE void
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void
     Deserialize(ckpt::Reader &r)
     {
         if (r.take_u64() != healthy_.size())
@@ -153,7 +153,7 @@ class HealthMonitor
     }
 
     /** Appends the mask and failure count to a checkpoint. */
-    CATNAP_PHASE_READ void
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void
     Serialize(ckpt::Writer &w) const
     {
         mask_.Serialize(w);
@@ -161,7 +161,7 @@ class HealthMonitor
     }
 
     /** Restores the mask and failure count (sink wiring untouched). */
-    CATNAP_PHASE_WRITE void
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void
     Deserialize(ckpt::Reader &r)
     {
         mask_.Deserialize(r);

@@ -188,7 +188,7 @@ class NetMetrics
     }
 
     /** Appends the full metric state to a checkpoint (DESIGN.md §13). */
-    CATNAP_PHASE_READ void
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void
     Serialize(ckpt::Writer &w) const
     {
         w.put_u64(measure_begin_);
@@ -222,7 +222,7 @@ class NetMetrics
     }
 
     /** Restores the full metric state from a checkpoint. */
-    CATNAP_PHASE_WRITE void
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void
     Deserialize(ckpt::Reader &r)
     {
         measure_begin_ = r.take_u64();

@@ -240,11 +240,11 @@ class MultiNoc
      * a fresh MultiNoc from the same config and overwrite only data
      * state via Deserialize().
      */
-    CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const;
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const;
 
     /** Restores what Serialize() wrote into a MultiNoc constructed from
      * the identical configuration. */
-    CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r);
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r);
 
   private:
     MultiNocConfig cfg_;

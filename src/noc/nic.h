@@ -196,10 +196,10 @@ class NetworkInterface
      * tracking). Wiring (routers, selector, sinks, fault controller,
      * adapters) is rebuilt by the MultiNoc constructor on restore.
      */
-    CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const;
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const;
 
     /** Restores what Serialize() wrote into an identically configured NI. */
-    CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r);
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r);
 
   private:
     /** Per-subnet packet-streaming slot. */

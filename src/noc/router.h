@@ -355,11 +355,11 @@ class Router
      * (neighbours, NI client, trace sink) and test-only hooks are not
      * serialized: the MultiNoc constructor rebuilds them on restore.
      */
-    CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const;
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const;
 
     /** Restores what Serialize() wrote into an identically configured
      * router. */
-    CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r);
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r);
 
   private:
     /** Per-input-VC packet-in-progress state. */

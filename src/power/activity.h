@@ -77,7 +77,7 @@ struct ActivityCounters
     void reset() { *this = ActivityCounters(); }
 
     /** Appends every counter to a checkpoint (DESIGN.md §13). */
-    CATNAP_PHASE_READ void
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void
     Serialize(ckpt::Writer &w) const
     {
         w.put_u64(buffer_writes);
@@ -98,7 +98,7 @@ struct ActivityCounters
     }
 
     /** Restores every counter from a checkpoint. */
-    CATNAP_PHASE_WRITE void
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void
     Deserialize(ckpt::Reader &r)
     {
         buffer_writes = r.take_u64();

@@ -79,11 +79,11 @@ class PowerMeter
      * power accounting intact. The network binding and energy model are
      * reconstructed from configuration.
      */
-    CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const;
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const;
 
     /** Restores what Serialize() wrote into a meter bound to the
      * identically configured network. */
-    CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r);
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r);
 
   private:
     PowerBreakdown compute(bool include_dynamic, bool include_static) const;

@@ -56,14 +56,14 @@ class TrafficPattern
      * patterns. The default is a no-op: permutation patterns are fixed
      * maps rebuilt from the configuration.
      */
-    CATNAP_PHASE_READ virtual void
+    CATNAP_COLD_PATH CATNAP_PHASE_READ virtual void
     Serialize(ckpt::Writer &w) const
     {
         (void)w;
     }
 
     /** Restores what Serialize() wrote (no-op for fixed patterns). */
-    CATNAP_PHASE_WRITE virtual void
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE virtual void
     Deserialize(ckpt::Reader &r)
     {
         (void)r;

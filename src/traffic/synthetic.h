@@ -109,11 +109,11 @@ class SyntheticTraffic
      * must re-install their schedule after restore, which is pure
      * (cycle -> load) and therefore resumes bit-identically.
      */
-    CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const;
+    CATNAP_COLD_PATH CATNAP_PHASE_READ void Serialize(ckpt::Writer &w) const;
 
     /** Restores what Serialize() wrote into a generator built with the
      * same config and network. */
-    CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r);
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void Deserialize(ckpt::Reader &r);
 
   private:
     struct NodePhase

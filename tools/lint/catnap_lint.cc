@@ -1,6 +1,6 @@
 /**
  * @file
- * catnap_lint v3 — driver. The analysis itself lives in the library
+ * catnap_lint v4 — driver. The analysis itself lives in the library
  * next to this file:
  *
  *   lint_source.{h,cc}    tokenization, suppressions, file walking
@@ -8,12 +8,16 @@
  *   lint_effects.{h,cc}   field-level effect inference (closure)
  *   lint_rules.{h,cc}     L1-L7 rule implementations
  *   lint_manifest.{h,cc}  L8 effects manifest (emit + baseline diff)
+ *   lint_cost.{h,cc}      L9 hot-path purity, L10 hot-path manifest
+ *   lint_hazard.{h,cc}    L11 determinism hazards
  *
  * The driver parses flags, runs the pipeline (tokenize -> call graph
  * -> effects -> rules), reports violations, and optionally emits SARIF
- * and the effects manifest. Exit codes: 0 clean, 1 violations found,
- * 2 usage or IO error. `--expect RULE` inverts: exit 0 iff at least
- * one violation of RULE was found (fixture tests).
+ * and the effects/hot-path manifests. Exit codes: 0 clean, 1
+ * violations found, 2 usage or IO error (including a blown
+ * --budget-ms). `--expect RULE` inverts: exit 0 iff at least one
+ * violation of RULE was found (fixture tests). `--list-rules` and
+ * `--version` print and exit 0.
  */
 #include <algorithm>
 #include <chrono>
@@ -26,8 +30,10 @@
 #include <vector>
 
 #include "common/sarif.h"
+#include "lint_cost.h"
 #include "lint_effects.h"
 #include "lint_graph.h"
+#include "lint_hazard.h"
 #include "lint_manifest.h"
 #include "lint_rules.h"
 #include "lint_source.h"
@@ -36,9 +42,10 @@ namespace {
 
 using namespace catnap_lint;
 
-void
-write_lint_sarif(const std::string &path,
-                 const std::vector<Violation> &violations)
+constexpr const char *kVersion = "4.0.0";
+
+const std::vector<catnap_tools::SarifRule> &
+rule_table()
 {
     static const std::vector<catnap_tools::SarifRule> kRules = {
         {"L1", "Determinism",
@@ -66,7 +73,26 @@ write_lint_sarif(const std::string &path,
         {"L8", "EffectsManifest",
          "the inferred per-class effect contract matches the"
          " checked-in effects manifest"},
+        {"L9", "HotPathPurity",
+         "no dynamic allocation, lock acquisition, I/O, or exception"
+         " throws in the tick closure (CATNAP_COLD_PATH opts slow"
+         " paths out)"},
+        {"L10", "HotPathCostManifest",
+         "the per-method hot-path cost profile (indirection, virtual"
+         " dispatch, bytes touched) matches the checked-in hot-path"
+         " manifest"},
+        {"L11", "DeterminismHazard",
+         "no unordered-container iteration, pointer-keyed/ordered"
+         " pointers, address-dependent values, or order-dependent"
+         " float folds in evaluate-phase code"},
     };
+    return kRules;
+}
+
+void
+write_lint_sarif(const std::string &path,
+                 const std::vector<Violation> &violations)
+{
     std::vector<catnap_tools::SarifResult> results;
     for (const Violation &v : violations) {
         catnap_tools::SarifResult r;
@@ -83,8 +109,8 @@ write_lint_sarif(const std::string &path,
                      path.c_str());
         std::exit(2);
     }
-    catnap_tools::write_sarif(os, "catnap_lint", "3.0.0", kRules,
-                              results);
+    catnap_tools::write_sarif(os, "catnap_lint", kVersion,
+                              rule_table(), results);
 }
 
 int
@@ -92,12 +118,15 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: catnap_lint [--rules L1,...,L8] [--expect RULE]"
+        "usage: catnap_lint [--rules L1,...,L11] [--expect RULE]"
         " [--sarif PATH]\n"
         "                   [--effects-out PATH]"
         " [--effects-baseline PATH]\n"
+        "                   [--hotpath-out PATH]"
+        " [--hotpath-baseline PATH]\n"
         "                   [--timing] [--budget-ms N]"
-        " <files-or-dirs>...\n");
+        " [--list-rules] [--version]\n"
+        "                   <files-or-dirs>...\n");
     return 2;
 }
 
@@ -114,12 +143,14 @@ ms_since(std::chrono::steady_clock::time_point t0)
 int
 main(int argc, char **argv)
 {
-    std::set<std::string> rules = {"L1", "L2", "L3", "L4",
-                                   "L5", "L6", "L7", "L8"};
+    std::set<std::string> rules = {"L1", "L2", "L3", "L4", "L5", "L6",
+                                   "L7", "L8", "L9", "L10", "L11"};
     std::string expect;
     std::string sarif_path;
     std::string effects_out;
     std::string effects_baseline;
+    std::string hotpath_out;
+    std::string hotpath_baseline;
     bool timing = false;
     long budget_ms = 0;
     std::vector<std::string> files;
@@ -141,6 +172,18 @@ main(int argc, char **argv)
             effects_out = argv[++a];
         } else if (arg == "--effects-baseline" && a + 1 < argc) {
             effects_baseline = argv[++a];
+        } else if (arg == "--hotpath-out" && a + 1 < argc) {
+            hotpath_out = argv[++a];
+        } else if (arg == "--hotpath-baseline" && a + 1 < argc) {
+            hotpath_baseline = argv[++a];
+        } else if (arg == "--list-rules") {
+            for (const auto &r : rule_table())
+                std::printf("%-4s %-24s %s\n", r.id.c_str(),
+                            r.name.c_str(), r.short_desc.c_str());
+            return 0;
+        } else if (arg == "--version") {
+            std::printf("catnap_lint %s\n", kVersion);
+            return 0;
         } else if (arg == "--timing") {
             timing = true;
         } else if (arg == "--budget-ms" && a + 1 < argc) {
@@ -177,12 +220,18 @@ main(int argc, char **argv)
     }
     const double ms_tokenize = ms_since(t_start);
 
+    const bool need_hotpath = rules.count("L10") ||
+                              !hotpath_out.empty() ||
+                              !hotpath_baseline.empty();
     const bool need_graph = rules.count("L4") || rules.count("L5") ||
                             rules.count("L6") || rules.count("L7") ||
-                            rules.count("L8") || !effects_out.empty() ||
+                            rules.count("L8") || rules.count("L9") ||
+                            rules.count("L11") || need_hotpath ||
+                            !effects_out.empty() ||
                             !effects_baseline.empty();
     const bool need_effects = rules.count("L6") || rules.count("L7") ||
                               rules.count("L8") ||
+                              rules.count("L11") || need_hotpath ||
                               !effects_out.empty() ||
                               !effects_baseline.empty();
 
@@ -216,6 +265,7 @@ main(int argc, char **argv)
         for (FunctionDef &d : prog.defs) {
             d.phase = resolve_phase(prog, d);
             d.shard_safe = resolve_shard_safe(prog, d);
+            d.cold_path = resolve_cold_path(prog, d);
         }
     }
     const double ms_graph = ms_since(t_graph);
@@ -244,6 +294,28 @@ main(int argc, char **argv)
         check_l6(prog, fx, sources, violations);
     if (rules.count("L7"))
         check_l7(prog, fx, sources, violations);
+
+    std::vector<char> hot;
+    if (rules.count("L9") || need_hotpath)
+        hot = compute_hot_set(prog);
+    if (rules.count("L9"))
+        check_l9(prog, hot, sources, violations);
+    if (rules.count("L11"))
+        check_l11(prog, fx, sources, violations);
+
+    std::string hotpath;
+    if (need_hotpath)
+        hotpath = build_hotpath_manifest(prog, fx, hot, sources);
+    if (!hotpath_out.empty() &&
+        !write_effects_manifest(hotpath_out, hotpath)) {
+        std::fprintf(stderr,
+                     "catnap_lint: FAILED to write hot-path manifest"
+                     " %s\n",
+                     hotpath_out.c_str());
+        return 2;
+    }
+    if (!hotpath_baseline.empty() && rules.count("L10"))
+        check_l10_baseline(hotpath_baseline, hotpath, violations);
 
     std::string manifest;
     if (need_effects &&

@@ -1,0 +1,32 @@
+// Lint fixture: seeded L11 (determinism hazard) violation. Never
+// compiled; consumed by `catnap_lint --rules L11 --expect L11` (L1
+// would also flag the unordered type token-locally — L11 is the rule
+// that catches the *iteration*, which is what actually breaks the
+// serial/sharded bit-identity pin: bucket order is hash-seed- and
+// address-dependent, so any fold over it is run-dependent).
+#include "common/phase.h"
+
+#include <unordered_map>
+
+namespace fixture {
+
+using Cycle = unsigned long long;
+
+class HashedStats
+{
+  public:
+    // Violation (at the for loop): evaluate-phase fold over an
+    // unordered container.
+    CATNAP_PHASE_READ Cycle total() const
+    {
+        Cycle sum = 0;
+        for (const auto &kv : counts_)
+            sum += kv.second;
+        return sum;
+    }
+
+  private:
+    std::unordered_map<int, Cycle> counts_;
+};
+
+} // namespace fixture

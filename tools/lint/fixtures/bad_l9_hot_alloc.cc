@@ -1,0 +1,34 @@
+// Lint fixture: seeded L9 (hot-path purity) violation. Never compiled;
+// consumed by `catnap_lint --expect L9`. A phase-annotated method is a
+// hot-path root, so an allocation in its body runs every simulated
+// cycle. The cold-annotated checkpoint method below allocates too and
+// must NOT be flagged: CATNAP_COLD_PATH prunes it (and everything
+// reachable only through it) from the hot closure.
+#include "common/phase.h"
+
+namespace fixture {
+
+using Cycle = unsigned long long;
+
+class HotBuffer
+{
+  public:
+    // Violation: evaluate-phase code allocates on every call.
+    CATNAP_PHASE_READ Cycle sample(Cycle now) const
+    {
+        Cycle *boxed = new Cycle(now);
+        return *boxed;
+    }
+
+    // Clean: the restore path allocates and is phase-annotated (it
+    // mutates committed state), but it is a declared slow path.
+    CATNAP_COLD_PATH CATNAP_PHASE_WRITE void restore(Cycle now)
+    {
+        scratch_ = new Cycle(now);
+    }
+
+  private:
+    Cycle *scratch_ = nullptr;
+};
+
+} // namespace fixture

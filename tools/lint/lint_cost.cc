@@ -1,0 +1,324 @@
+#include "lint_cost.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace catnap_lint {
+
+namespace {
+
+/** Identifiers whose presence in a hot body means dynamic allocation.
+ * Container growth methods (push_back/resize/reserve) are deliberately
+ * absent: amortised growth into pre-reserved storage is the sanctioned
+ * hot-path idiom, and banning it would force suppressions everywhere
+ * (see DESIGN.md §16 for the trade-off). */
+const std::set<std::string> &
+alloc_idents()
+{
+    static const std::set<std::string> s = {
+        "new",      "delete",     "make_unique", "make_shared",
+        "malloc",   "calloc",     "realloc",     "free",
+        "strdup",   "aligned_alloc",
+    };
+    return s;
+}
+
+/** Lock/synchronisation types whose construction acquires a lock. */
+const std::set<std::string> &
+lock_idents()
+{
+    static const std::set<std::string> s = {
+        "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+        "condition_variable", "condition_variable_any",
+    };
+    return s;
+}
+
+/** Receiver methods that acquire or release a lock (`m.lock()`). */
+const std::set<std::string> &
+lock_methods()
+{
+    static const std::set<std::string> s = {
+        "lock",          "unlock",          "try_lock",
+        "try_lock_for",  "try_lock_until",  "lock_shared",
+        "unlock_shared", "try_lock_shared", "wait",
+        "notify_one",    "notify_all",
+    };
+    return s;
+}
+
+/** Identifiers that perform I/O (stream objects, stdio calls). */
+const std::set<std::string> &
+io_idents()
+{
+    static const std::set<std::string> s = {
+        "printf", "fprintf", "vfprintf", "snprintf", "sprintf",
+        "puts",   "fputs",   "putchar",  "fputc",    "fwrite",
+        "fread",  "fopen",   "fclose",   "fflush",   "fgets",
+        "fscanf", "scanf",   "ofstream", "ifstream", "fstream",
+        "cout",   "cerr",    "clog",     "cin",      "getline",
+        "system", "popen",   "remove",   "rename",
+    };
+    return s;
+}
+
+} // namespace
+
+std::vector<char>
+compute_hot_set(const Program &prog)
+{
+    std::vector<char> hot(prog.defs.size(), 0);
+    std::vector<int> work;
+    for (std::size_t i = 0; i < prog.defs.size(); ++i) {
+        const FunctionDef &d = prog.defs[i];
+        if (d.cold_path)
+            continue;
+        if (d.phase != 0 || d.name == "evaluate" || d.name == "commit") {
+            hot[i] = 1;
+            work.push_back(static_cast<int>(i));
+        }
+    }
+    while (!work.empty()) {
+        const auto di = static_cast<std::size_t>(work.back());
+        work.pop_back();
+        const FunctionDef &d = prog.defs[di];
+        for (const CallSite &cs : d.calls) {
+            for (const int t : resolve_call(prog, d, cs)) {
+                const auto ti = static_cast<std::size_t>(t);
+                if (hot[ti] || prog.defs[ti].cold_path)
+                    continue;
+                hot[ti] = 1;
+                work.push_back(t);
+            }
+        }
+    }
+    return hot;
+}
+
+void
+check_l9(const Program &prog, const std::vector<char> &hot,
+         const std::vector<SourceFile> &sources,
+         std::vector<Violation> &out)
+{
+    for (std::size_t i = 0; i < prog.defs.size(); ++i) {
+        if (!hot[i])
+            continue;
+        const FunctionDef &d = prog.defs[i];
+        const SourceFile &f =
+            sources[static_cast<std::size_t>(d.file)];
+        if (!in_contract_scope(f))
+            continue;
+        const std::string qual =
+            d.cls.empty() ? d.name : d.cls + "::" + d.name;
+        const auto &t = f.tokens;
+        for (std::size_t k = d.body_open + 1;
+             k < d.body_close && k < t.size(); ++k) {
+            const std::string &s = t[k].text;
+            std::string what;
+            if (s == "throw") {
+                what = "throws an exception";
+            } else if (alloc_idents().count(s) > 0) {
+                what = "performs dynamic allocation ('" + s + "')";
+            } else if (lock_idents().count(s) > 0) {
+                what = "acquires a lock ('" + s + "')";
+            } else if (lock_methods().count(s) > 0 && k > 0 &&
+                       (t[k - 1].text == "." ||
+                        t[k - 1].text == "->") &&
+                       k + 1 < t.size() && t[k + 1].text == "(") {
+                what = "acquires/releases a lock ('." + s + "()')";
+            } else if (io_idents().count(s) > 0) {
+                what = "performs I/O ('" + s + "')";
+            } else {
+                continue;
+            }
+            add_violation(
+                out, f, t[k].line, "L9",
+                "hot-path purity: '" + qual +
+                    "' is in the tick closure (reachable from a"
+                    " phase-annotated entry point) but " +
+                    what +
+                    "; move the work off the per-cycle path or mark"
+                    " the slow-path entry CATNAP_COLD_PATH"
+                    " (common/phase.h)");
+        }
+    }
+}
+
+namespace {
+
+/** Everything the manifest records about one hot method. Overload
+ * sets merge by max metric (and lexicographically-smallest file) so
+ * the output is independent of definition order. */
+struct MethodEntry
+{
+    std::string file;
+    int indirection = 0;
+    int virtual_calls = 0;
+    int call_sites = 0;
+    int est_bytes = 0;
+
+    void merge(const MethodEntry &o)
+    {
+        if (file.empty() || (!o.file.empty() && o.file < file))
+            file = o.file;
+        indirection = std::max(indirection, o.indirection);
+        virtual_calls = std::max(virtual_calls, o.virtual_calls);
+        call_sites = std::max(call_sites, o.call_sites);
+        est_bytes = std::max(est_bytes, o.est_bytes);
+    }
+};
+
+/**
+ * Maximum `->` chain depth of a body: the longest run of arrow
+ * selectors within one postfix expression. Identifiers, `.`/`::`
+ * selectors, and index/call closers extend a chain; any other token
+ * (statement/argument boundaries, operators) resets it. A static
+ * proxy for dependent-load depth — the figure the data-oriented
+ * rewrite drives toward zero.
+ */
+int
+max_indirection(const std::vector<Token> &t, std::size_t open,
+                std::size_t close)
+{
+    int run = 0, best = 0;
+    for (std::size_t k = open + 1; k < close && k < t.size(); ++k) {
+        const std::string &s = t[k].text;
+        if (s == "->") {
+            best = std::max(best, ++run);
+        } else if (!(is_ident_start(s[0]) || s == "." || s == "::" ||
+                     s == ")" || s == "]")) {
+            run = 0;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+std::string
+build_hotpath_manifest(const Program &prog, const Effects &fx,
+                       const std::vector<char> &hot,
+                       const std::vector<SourceFile> &sources)
+{
+    // Distinct peer (class, via) pairs per definition, for the bytes
+    // estimate: each crossing touches at least one remote word.
+    std::vector<std::set<std::pair<std::string, std::string>>> peers(
+        prog.defs.size());
+    for (const PeerEdge &e : fx.edges)
+        peers[static_cast<std::size_t>(e.def)].insert({e.cls, e.via});
+
+    std::map<std::string, MethodEntry> methods;
+    for (std::size_t i = 0; i < prog.defs.size(); ++i) {
+        if (!hot[i])
+            continue;
+        const FunctionDef &d = prog.defs[i];
+        if (d.cls.empty())
+            continue; // free helpers show up via their callers
+        const SourceFile &f =
+            sources[static_cast<std::size_t>(d.file)];
+        if (!in_contract_scope(f))
+            continue;
+
+        MethodEntry e;
+        e.file = normalize_path(f.path);
+        e.indirection =
+            max_indirection(f.tokens, d.body_open, d.body_close);
+        e.call_sites = static_cast<int>(d.calls.size());
+        for (const CallSite &cs : d.calls)
+            for (const int ti : resolve_call(prog, d, cs))
+                if (prog.defs[static_cast<std::size_t>(ti)]
+                        .is_virtual) {
+                    ++e.virtual_calls;
+                    break;
+                }
+        // Estimated bytes touched per call: one word per distinct
+        // own-field key, referenced parameter, and peer crossing in
+        // the closed effect summary. A lower bound on working-set
+        // traffic, stable under reordering.
+        std::set<std::string> field_keys(fx.own_reads[i].begin(),
+                                         fx.own_reads[i].end());
+        field_keys.insert(fx.own_writes[i].begin(),
+                          fx.own_writes[i].end());
+        std::set<int> param_keys(fx.param_reads[i].begin(),
+                                 fx.param_reads[i].end());
+        param_keys.insert(fx.param_writes[i].begin(),
+                          fx.param_writes[i].end());
+        e.est_bytes = 8 * static_cast<int>(field_keys.size() +
+                                           param_keys.size() +
+                                           peers[i].size());
+
+        methods[d.cls + "::" + d.name].merge(e);
+    }
+
+    int tot_virtual = 0, tot_calls = 0, tot_bytes = 0, max_ind = 0;
+    for (const auto &[name, e] : methods) {
+        (void)name;
+        tot_virtual += e.virtual_calls;
+        tot_calls += e.call_sites;
+        tot_bytes += e.est_bytes;
+        max_ind = std::max(max_ind, e.indirection);
+    }
+
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"catnap-hotpath-v1\",\n  \"methods\": {";
+    bool first = true;
+    for (const auto &[name, e] : methods) {
+        os << (first ? "" : ",") << "\n    \"" << name << "\": {"
+           << "\"file\": \"" << e.file << "\", "
+           << "\"indirection\": " << e.indirection << ", "
+           << "\"virtual_calls\": " << e.virtual_calls << ", "
+           << "\"call_sites\": " << e.call_sites << ", "
+           << "\"est_bytes_per_call\": " << e.est_bytes << "}";
+        first = false;
+    }
+    if (!first)
+        os << "\n  ";
+    os << "},\n  \"totals\": {\"methods\": " << methods.size()
+       << ", \"call_sites\": " << tot_calls
+       << ", \"virtual_calls\": " << tot_virtual
+       << ", \"est_bytes_per_call\": " << tot_bytes
+       << ", \"max_indirection\": " << max_ind << "}\n}\n";
+    return os.str();
+}
+
+void
+check_l10_baseline(const std::string &baseline_path,
+                   const std::string &json, std::vector<Violation> &out)
+{
+    static const char *kHint =
+        "; regenerate via `catnap_lint --hotpath-out"
+        " results/hotpath.json src` from the repo root and review the"
+        " diff — every hot-path cost change must be a reviewed diff";
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+        out.push_back({baseline_path, 1, "L10",
+                       "hot-path baseline '" + baseline_path +
+                           "' is missing or unreadable" + kHint});
+        return;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string baseline = ss.str();
+    if (baseline == json)
+        return;
+
+    int line = 1;
+    for (std::size_t i = 0;
+         i < baseline.size() && i < json.size() &&
+         baseline[i] == json[i];
+         ++i) {
+        if (baseline[i] == '\n')
+            ++line;
+    }
+    out.push_back(
+        {baseline_path, line, "L10",
+         "hot-path manifest drift: the per-method cost profile no"
+         " longer matches the checked-in baseline (first difference"
+         " at line " +
+             std::to_string(line) + ")" + kHint});
+}
+
+} // namespace catnap_lint

@@ -267,21 +267,25 @@ collect_phase_annotations(const SourceFile &f,
         const bool is_read = t[i].text == "CATNAP_PHASE_READ";
         const bool is_write = t[i].text == "CATNAP_PHASE_WRITE";
         const bool is_shard = t[i].text == "CATNAP_SHARD_SAFE";
-        if (!is_read && !is_write && !is_shard)
+        const bool is_cold = t[i].text == "CATNAP_COLD_PATH";
+        if (!is_read && !is_write && !is_shard && !is_cold)
             continue;
         for (std::size_t j = i + 1; j + 1 < t.size() && j < i + 16; ++j) {
             if (t[j + 1].text == "(" && is_ident_start(t[j].text[0]) &&
                 non_call_keywords().count(t[j].text) == 0 &&
                 t[j].text != "CATNAP_PHASE_READ" &&
                 t[j].text != "CATNAP_PHASE_WRITE" &&
-                t[j].text != "CATNAP_SHARD_SAFE") {
+                t[j].text != "CATNAP_SHARD_SAFE" &&
+                t[j].text != "CATNAP_COLD_PATH") {
                 std::string cls;
                 if (j >= 2 && t[j - 1].text == "::" &&
                     is_ident_start(t[j - 2].text[0]))
                     cls = t[j - 2].text;
                 else
                     cls = enclosing_class(scopes, j);
-                if (is_shard) {
+                if (is_cold) {
+                    prog.cold_annots.push_back({t[j].text, cls});
+                } else if (is_shard) {
                     prog.shard_annots.push_back({t[j].text, cls});
                 } else {
                     (is_read ? table.read_fns : table.write_fns)
@@ -318,6 +322,7 @@ collect_members(const SourceFile &f,
             // Reject spans that contain expression tokens — they mean
             // this is a use inside a method body, not a declaration.
             bool has_ptr = false, has_ref = false, owned_ptr = false;
+            bool unordered = false, float_typed = false;
             bool reject = false;
             std::string cls;
             for (std::size_t k = i; k-- > s.open + 1;) {
@@ -338,6 +343,13 @@ collect_members(const SourceFile &f,
                     has_ref = true;
                 else if (s2 == "unique_ptr" || s2 == "shared_ptr")
                     owned_ptr = true;
+                else if (s2 == "unordered_map" ||
+                         s2 == "unordered_set" ||
+                         s2 == "unordered_multimap" ||
+                         s2 == "unordered_multiset")
+                    unordered = true;
+                else if (s2 == "float" || s2 == "double")
+                    float_typed = true;
                 else if (cls.empty() && is_ident_start(s2[0]) &&
                          prog.class_names.count(s2) > 0)
                     cls = s2; // last class ident wins (innermost type)
@@ -357,6 +369,8 @@ collect_members(const SourceFile &f,
             else
                 d.kind = MemberKind::kValue;
             d.cls = cls;
+            d.unordered = unordered;
+            d.float_typed = float_typed;
             prog.members.emplace(std::make_pair(s.name, t[i].text), d);
         }
     }
@@ -1245,6 +1259,8 @@ collect_defs(int file_idx, const SourceFile &f,
         d.name = t[i].text;
         d.file = file_idx;
         d.line = t[i].line;
+        d.body_open = body_open;
+        d.body_close = body_close;
         if (i >= 2 && t[i - 1].text == "::" &&
             is_ident_start(t[i - 2].text[0]))
             d.cls = t[i - 2].text;
@@ -1323,6 +1339,23 @@ annot_shard_safe_name(const Program &prog, const std::string &name)
     for (const ShardAnnot &a : prog.shard_annots)
         if (a.name == name)
             return true;
+    return false;
+}
+
+bool
+resolve_cold_path(const Program &prog, const FunctionDef &d)
+{
+    const auto anc = prog.ancestors_of.find(d.cls);
+    for (const ShardAnnot &a : prog.cold_annots) {
+        if (a.name != d.name)
+            continue;
+        if (a.cls == d.cls || a.cls.empty())
+            return true;
+        // A cold base declaration covers every override.
+        if (anc != prog.ancestors_of.end() &&
+            anc->second.count(a.cls) > 0)
+            return true;
+    }
     return false;
 }
 

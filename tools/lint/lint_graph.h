@@ -61,6 +61,8 @@ struct MemberDecl
 {
     MemberKind kind = MemberKind::kValue;
     std::string cls; ///< pointee/element class when recognisable; ""
+    bool unordered = false;   ///< unordered_{map,set,...} in the type
+    bool float_typed = false; ///< `float`/`double` in the type (L11)
 };
 
 /** One parsed function parameter. */
@@ -135,7 +137,10 @@ struct FunctionDef
     int line = 0;
     int phase = 0; ///< 0 none, 1 READ, 2 WRITE (resolved from annots)
     bool shard_safe = false; ///< CATNAP_SHARD_SAFE (resolved)
+    bool cold_path = false;  ///< CATNAP_COLD_PATH (resolved)
     bool is_virtual = false; ///< `virtual` seen or `override`/`final`
+    std::size_t body_open = 0;  ///< body `{` token index (L9-L11)
+    std::size_t body_close = 0; ///< matching `}` token index
     std::string ret_cls; ///< input-set class named in the return type
     bool writes_members = false; ///< direct own/peer field write (L5)
     std::vector<Param> params;
@@ -153,7 +158,8 @@ struct PhaseAnnot
     int phase; ///< 1 READ, 2 WRITE
 };
 
-/** One CATNAP_SHARD_SAFE marker with its class context. */
+/** One CATNAP_SHARD_SAFE or CATNAP_COLD_PATH marker with its class
+ * context (the two markers share the {name, class} shape). */
 struct ShardAnnot
 {
     std::string name;
@@ -166,6 +172,7 @@ struct Program
     std::vector<FunctionDef> defs;
     std::vector<PhaseAnnot> annots;
     std::vector<ShardAnnot> shard_annots;
+    std::vector<ShardAnnot> cold_annots; ///< CATNAP_COLD_PATH markers
     std::map<std::string, std::vector<int>> defs_by_name;
     std::map<std::pair<std::string, std::string>, std::vector<int>>
         defs_by_cls; ///< (cls, name) -> def indices
@@ -258,6 +265,11 @@ bool resolve_shard_safe(const Program &prog, const FunctionDef &d);
 /** True when any CATNAP_SHARD_SAFE annotation bears @p name (for
  * calls that resolve to no definition in the input set). */
 bool annot_shard_safe_name(const Program &prog, const std::string &name);
+
+/** True when @p d (or a declaration it overrides, via the class
+ * hierarchy) carries CATNAP_COLD_PATH: pruned from the hot-path
+ * closure that seeds rules L9/L10 (see lint_cost.h). */
+bool resolve_cold_path(const Program &prog, const FunctionDef &d);
 
 /**
  * Resolves a call site to candidate definitions. Preference order:

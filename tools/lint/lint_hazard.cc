@@ -1,0 +1,365 @@
+#include "lint_hazard.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace catnap_lint {
+
+namespace {
+
+constexpr auto npos = std::string::npos;
+
+bool
+is_unordered_type(const std::string &s)
+{
+    return s == "unordered_map" || s == "unordered_set" ||
+           s == "unordered_multimap" || s == "unordered_multiset";
+}
+
+bool
+is_ordered_assoc(const std::string &s)
+{
+    return s == "map" || s == "set" || s == "multimap" ||
+           s == "multiset";
+}
+
+/** Names declared inside one body with a hazardous or float type. */
+struct BodyLocals
+{
+    std::set<std::string> unordered;
+    std::set<std::string> floats;
+};
+
+BodyLocals
+collect_body_locals(const std::vector<Token> &t, std::size_t open,
+                    std::size_t close)
+{
+    BodyLocals loc;
+    for (std::size_t k = open + 1; k < close && k < t.size(); ++k) {
+        const std::string &s = t[k].text;
+        // `unordered_map<...> name` (local declaration).
+        if (is_unordered_type(s) && k + 1 < close &&
+            t[k + 1].text == "<") {
+            const std::size_t c = match_forward(t, k + 1, "<", ">");
+            if (c == npos || c + 1 >= close)
+                continue;
+            std::size_t j = c + 1;
+            if (t[j].text == "&")
+                ++j;
+            if (j < close && is_ident_start(t[j].text[0]))
+                loc.unordered.insert(t[j].text);
+            continue;
+        }
+        // `float|double name =|{|;` (local accumulator candidate).
+        if ((s == "float" || s == "double") && k + 2 < close &&
+            is_ident_start(t[k + 1].text[0])) {
+            const std::string &nxt = t[k + 2].text;
+            if (nxt == "=" || nxt == "{" || nxt == ";")
+                loc.floats.insert(t[k + 1].text);
+        }
+    }
+    return loc;
+}
+
+/** One parsed `for (... : base)` loop inside a body. */
+struct RangeFor
+{
+    std::size_t head = 0;  ///< the `for` token
+    std::size_t body_open = 0;
+    std::size_t body_close = 0; ///< `}` index, or end of statement
+    std::string base;      ///< range base identifier ("" unknown)
+    bool base_is_member = false;
+    bool base_unordered = false;
+};
+
+std::vector<RangeFor>
+collect_range_fors(const Program &prog, const FunctionDef &d,
+                   const std::vector<Token> &t, const BodyLocals &loc)
+{
+    std::vector<RangeFor> out;
+    for (std::size_t k = d.body_open + 1;
+         k < d.body_close && k < t.size(); ++k) {
+        if (t[k].text != "for" || k + 1 >= d.body_close ||
+            t[k + 1].text != "(")
+            continue;
+        const std::size_t cp = match_forward(t, k + 1, "(", ")");
+        if (cp == npos || cp >= d.body_close)
+            continue;
+        // The range-for colon at paren/bracket/brace depth zero
+        // (relative to the for-parens). `::` is its own token, so a
+        // bare `:` here is unambiguous.
+        std::size_t colon = npos;
+        int pd = 0, bd = 0, cd = 0;
+        for (std::size_t j = k + 2; j < cp; ++j) {
+            const std::string &s = t[j].text;
+            if (s == "(")
+                ++pd;
+            else if (s == ")")
+                --pd;
+            else if (s == "[")
+                ++bd;
+            else if (s == "]")
+                --bd;
+            else if (s == "{")
+                ++cd;
+            else if (s == "}")
+                --cd;
+            else if (s == ":" && pd == 0 && bd == 0 && cd == 0) {
+                colon = j;
+                break;
+            }
+        }
+        if (colon == npos)
+            continue; // classic three-clause for
+        RangeFor rf;
+        rf.head = k;
+        std::size_t j = colon + 1;
+        while (j < cp && (t[j].text == "*" || t[j].text == "&" ||
+                          t[j].text == "(" || t[j].text == "const"))
+            ++j;
+        if (j < cp && t[j].text == "this" && j + 1 < cp &&
+            t[j + 1].text == "->")
+            j += 2;
+        if (j < cp && is_ident_start(t[j].text[0]))
+            rf.base = t[j].text;
+        if (!rf.base.empty()) {
+            rf.base_unordered = loc.unordered.count(rf.base) > 0;
+            if (is_member_ident(rf.base)) {
+                const auto mi = prog.members.find({d.cls, rf.base});
+                if (mi != prog.members.end()) {
+                    rf.base_is_member = true;
+                    rf.base_unordered |= mi->second.unordered;
+                }
+            }
+        }
+        // Loop body: a brace block, or a single statement to `;`.
+        if (cp + 1 < d.body_close && t[cp + 1].text == "{") {
+            rf.body_open = cp + 1;
+            const std::size_t bc =
+                match_forward(t, cp + 1, "{", "}");
+            rf.body_close =
+                bc == npos ? d.body_close : std::min(bc, d.body_close);
+        } else {
+            rf.body_open = cp;
+            std::size_t e = cp + 1;
+            while (e < d.body_close && t[e].text != ";")
+                ++e;
+            rf.body_close = e;
+        }
+        out.push_back(rf);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+check_l11(const Program &prog, const Effects &fx,
+          const std::vector<SourceFile> &sources,
+          std::vector<Violation> &out)
+{
+    // Declaration-level hazard: pointer-valued keys in ordered
+    // associative containers. Address order varies across runs and
+    // shard placements, so *any* iteration over these is hazardous —
+    // flagged at the declaration, independent of reachability.
+    for (const SourceFile &f : sources) {
+        if (!in_contract_scope(f))
+            continue;
+        const auto &t = f.tokens;
+        for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+            if (!is_ordered_assoc(t[i].text) ||
+                t[i - 1].text != "::" || t[i + 1].text != "<")
+                continue;
+            const std::size_t close =
+                match_forward(t, i + 1, "<", ">");
+            if (close == npos)
+                continue;
+            // A `*` at template depth 1 before the first top-level
+            // comma means the *key* type is a pointer (for set the
+            // first argument is the key; later arguments are the
+            // comparator/allocator).
+            int depth = 1;
+            bool ptr_key = false;
+            for (std::size_t j = i + 2; j < close; ++j) {
+                const std::string &s = t[j].text;
+                if (s == "<")
+                    ++depth;
+                else if (s == ">")
+                    --depth;
+                else if (s == "," && depth == 1)
+                    break;
+                else if (s == "*" && depth == 1)
+                    ptr_key = true;
+            }
+            if (ptr_key)
+                add_violation(
+                    out, f, t[i].line, "L11",
+                    "determinism hazard: ordered container 'std::" +
+                        t[i].text +
+                        "' keyed by a pointer iterates in address"
+                        " order, which varies across runs and shard"
+                        " placements; key by a stable id instead");
+        }
+    }
+
+    // Evaluate-phase-closure hazards.
+    for (std::size_t i = 0; i < prog.defs.size(); ++i) {
+        if (!fx.read_reach[i])
+            continue;
+        const FunctionDef &d = prog.defs[i];
+        const SourceFile &f =
+            sources[static_cast<std::size_t>(d.file)];
+        if (!in_contract_scope(f))
+            continue;
+        const std::string qual =
+            d.cls.empty() ? d.name : d.cls + "::" + d.name;
+        const auto &t = f.tokens;
+        const BodyLocals loc =
+            collect_body_locals(t, d.body_open, d.body_close);
+
+        auto is_unordered_name = [&](const std::string &id) {
+            if (loc.unordered.count(id) > 0)
+                return true;
+            if (!is_member_ident(id))
+                return false;
+            const auto mi = prog.members.find({d.cls, id});
+            return mi != prog.members.end() && mi->second.unordered;
+        };
+
+        const std::vector<RangeFor> loops =
+            collect_range_fors(prog, d, t, loc);
+
+        for (const RangeFor &rf : loops) {
+            if (rf.base_unordered)
+                add_violation(
+                    out, f, t[rf.head].line, "L11",
+                    "determinism hazard: evaluate-phase code ('" +
+                        qual + "') iterates unordered container '" +
+                        rf.base +
+                        "'; bucket order is run-dependent — use a"
+                        " sorted container or iterate a stable"
+                        " index");
+            // Non-associative float accumulation across the
+            // container's iteration order: reassociating the fold
+            // (shard partition, reordered storage) changes the
+            // rounded result.
+            if (!rf.base_is_member && !rf.base_unordered)
+                continue;
+            for (std::size_t m = rf.body_open + 1;
+                 m < rf.body_close && m < t.size(); ++m) {
+                if (t[m].text != "+=" || m == 0 ||
+                    !is_ident_start(t[m - 1].text[0]))
+                    continue;
+                const std::string &lhs = t[m - 1].text;
+                bool is_float = loc.floats.count(lhs) > 0;
+                if (!is_float && is_member_ident(lhs)) {
+                    const auto mi = prog.members.find({d.cls, lhs});
+                    is_float = mi != prog.members.end() &&
+                               mi->second.float_typed;
+                }
+                if (is_float)
+                    add_violation(
+                        out, f, t[m].line, "L11",
+                        "determinism hazard: float accumulator '" +
+                            lhs + "' folded over container '" +
+                            rf.base + "' in evaluate-phase code ('" +
+                            qual +
+                            "'); float addition is non-associative,"
+                            " so the result depends on iteration"
+                            " order — accumulate in integers or fold"
+                            " in a pinned order");
+            }
+        }
+
+        for (std::size_t k = d.body_open + 1;
+             k < d.body_close && k < t.size(); ++k) {
+            const std::string &s = t[k].text;
+            // Explicit iterator walk of an unordered container.
+            if ((s == "begin" || s == "end" || s == "cbegin" ||
+                 s == "cend") &&
+                k >= 2 && k + 1 < t.size() && t[k + 1].text == "(" &&
+                (t[k - 1].text == "." || t[k - 1].text == "->") &&
+                is_ident_start(t[k - 2].text[0]) &&
+                is_unordered_name(t[k - 2].text)) {
+                add_violation(
+                    out, f, t[k].line, "L11",
+                    "determinism hazard: evaluate-phase code ('" +
+                        qual + "') iterates unordered container '" +
+                        t[k - 2].text +
+                        "'; bucket order is run-dependent — use a"
+                        " sorted container or iterate a stable"
+                        " index");
+                continue;
+            }
+            // Pointer -> integer: the value (and any branch on it)
+            // becomes address-dependent.
+            if (s == "reinterpret_cast" && k + 1 < t.size() &&
+                t[k + 1].text == "<") {
+                const std::size_t c =
+                    match_forward(t, k + 1, "<", ">");
+                if (c == npos)
+                    continue;
+                for (std::size_t j = k + 2; j < c; ++j) {
+                    if (t[j].text == "uintptr_t" ||
+                        t[j].text == "intptr_t") {
+                        add_violation(
+                            out, f, t[k].line, "L11",
+                            "determinism hazard: evaluate-phase code"
+                            " ('" +
+                                qual +
+                                "') converts a pointer to an integer"
+                                " (reinterpret_cast<" +
+                                t[j].text +
+                                ">); anything derived from it is"
+                                " address-dependent and varies across"
+                                " runs");
+                        break;
+                    }
+                }
+                continue;
+            }
+            // Relational comparison on a peer-pointer member:
+            // pointer identity (==/!=) is deterministic, pointer
+            // *order* is address order.
+            if (s == "<" || s == ">" || s == "<=" || s == ">=") {
+                for (const std::size_t n : {k - 1, k + 1}) {
+                    if (n >= t.size() ||
+                        !is_ident_start(t[n].text[0]) ||
+                        !is_member_ident(t[n].text))
+                        continue;
+                    // Only the pointer *value* orders by address; a
+                    // deref chain (`x < ptr_->field`) compares the
+                    // field, and `obj.ptr_` is someone else's member.
+                    if (n == k + 1 && k + 2 < t.size() &&
+                        (t[k + 2].text == "->" ||
+                         t[k + 2].text == "." ||
+                         t[k + 2].text == "["))
+                        continue;
+                    if (n == k - 1 && k >= 2 &&
+                        (t[k - 2].text == "->" ||
+                         t[k - 2].text == "."))
+                        continue;
+                    const auto mi =
+                        prog.members.find({d.cls, t[n].text});
+                    if (mi == prog.members.end() ||
+                        mi->second.kind != MemberKind::kPeerPtr)
+                        continue;
+                    add_violation(
+                        out, f, t[k].line, "L11",
+                        "determinism hazard: evaluate-phase code"
+                        " ('" +
+                            qual +
+                            "') orders pointer member '" +
+                            t[n].text +
+                            "' relationally; address order varies"
+                            " across runs — compare stable ids, or"
+                            " use ==/!= for identity");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+} // namespace catnap_lint

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Determinism-hazard analysis for catnap_lint (rule L11, DESIGN.md
+ * §16). The sharded cycle-parallel core pins bit-identity against the
+ * serial tick; that pin only holds if no evaluate-phase computation
+ * depends on an ordering the language does not define. L11 flags the
+ * hazard catalog inside the evaluate-phase closure (Effects.read_reach
+ * — the same scope whose *visible set* L6 checks):
+ *
+ *  - iteration over unordered_map/unordered_set (member or local):
+ *    bucket order is hash-seed- and pointer-dependent, so any fold
+ *    over it is run-dependent. (L1 already bans the types in
+ *    simulator code token-locally; L11 catches the *iteration* in
+ *    explicitly-linted files and fixtures where the type itself was
+ *    let in.)
+ *  - pointer-valued keys in ordered containers (std::map<T*, ...>,
+ *    std::set<T*>): iteration order is address order, which varies
+ *    across runs and shard placements.
+ *  - address-dependent branching: reinterpret_cast of a pointer to
+ *    uintptr_t/intptr_t, or relational comparison (< > <= >=) on a
+ *    peer-pointer member — pointer *identity* (==/!=) is fine,
+ *    pointer *order* is not.
+ *  - non-associative float accumulation across container order: a
+ *    float/double accumulator updated with += inside a range-for over
+ *    a member container. Reassociating the fold (a different shard
+ *    partition, a reordered container) changes the rounded result.
+ *
+ * Scope matches L6-L8: definitions in contract scope (files under
+ * src/, or named explicitly on the command line).
+ */
+#ifndef CATNAP_LINT_HAZARD_H
+#define CATNAP_LINT_HAZARD_H
+
+#include <vector>
+
+#include "lint_effects.h"
+#include "lint_graph.h"
+#include "lint_rules.h"
+#include "lint_source.h"
+
+namespace catnap_lint {
+
+void check_l11(const Program &prog, const Effects &fx,
+               const std::vector<SourceFile> &sources,
+               std::vector<Violation> &out);
+
+} // namespace catnap_lint
+
+#endif // CATNAP_LINT_HAZARD_H

@@ -25,6 +25,11 @@ is_host_side(const std::string &path)
 {
     if (path.find("src/exec/") != std::string::npos)
         return true;
+    // Test drivers orchestrate simulations from the outside: host
+    // timeouts and duration asserts legitimately read the host clock,
+    // and their helper scaffolding is not tick-path code.
+    if (path.find("tests/") != std::string::npos)
+        return true;
     // The linter itself (--timing reads the host monotonic clock) —
     // but not its fixtures, which must flow through the full pipeline
     // to exercise the rules they seed.

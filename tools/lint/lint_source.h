@@ -45,9 +45,9 @@ bool is_ident_start(char c);
  * analyses simulations from outside the tick loop. The L1 wall-clock
  * bans are lifted there (host timeouts and tool timing legitimately
  * read the host clock) and the files are excluded from the tick-path
- * call graph. Covers the batch execution engine (src/exec/) and the
- * lint tool itself (tools/lint/, whose --timing pass reads the host
- * monotonic clock).
+ * call graph. Covers the batch execution engine (src/exec/), the test
+ * drivers (tests/), and the lint tool itself (tools/lint/, whose
+ * --timing pass reads the host monotonic clock).
  */
 bool is_host_side(const std::string &path);
 

@@ -1,0 +1,38 @@
+# Golden-file test for catnap_lint's L10 hot-path cost manifest. Runs
+# the linter on a fixture from the lint source directory (so the
+# embedded file path stays relative and machine-independent) TWICE, and
+# byte-compares both emissions against the checked-in golden: one
+# compare catches cost-profile drift, two catch nondeterminism (the
+# same run-twice contract results/hotpath.json is held to in CI).
+#
+# cmake -DLINT=<catnap_lint> -DSRC_DIR=<tools/lint>
+#       -DFIXTURE=<fixtures/x.cc> -DOUT=<build/x.hotpath.json>
+#       -DGOLDEN=<fixtures/golden_x.json> -P run_hotpath_test.cmake
+
+foreach(var LINT SRC_DIR FIXTURE OUT GOLDEN)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_hotpath_test.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+foreach(pass out out2)
+  execute_process(
+    COMMAND "${LINT}" --hotpath-out "${OUT}.${pass}" "${FIXTURE}"
+    WORKING_DIRECTORY "${SRC_DIR}"
+    RESULT_VARIABLE lint_rc
+    OUTPUT_VARIABLE lint_out
+    ERROR_VARIABLE lint_err)
+  if(NOT lint_rc EQUAL 0)
+    message(FATAL_ERROR
+            "catnap_lint exited ${lint_rc}\n${lint_out}${lint_err}")
+  endif()
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files "${OUT}.${pass}"
+            "${GOLDEN}"
+    RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+            "hot-path manifest ${OUT}.${pass} differs from golden"
+            " ${GOLDEN}; regenerate with --hotpath-out and review")
+  endif()
+endforeach()
