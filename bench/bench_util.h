@@ -31,6 +31,7 @@
 
 #include "exec/proc_runner.h"
 #include "exec/sweep_runner.h"
+#include "serve/client.h"
 #include "sim/report.h"
 #include "sim/simulator.h"
 
@@ -122,6 +123,16 @@ struct BenchOptions
 
     /** Extra attempts before quarantine for --isolate. */
     int point_retries = 2;
+
+    /**
+     * Sweep-service backend (DESIGN.md §17): resolve every grid point
+     * against the catnap_serve daemon at this socket instead of
+     * executing locally. Cached points replay from the daemon's
+     * content-addressed result cache bit-identically; only novel
+     * points execute (daemon-side). Incompatible with --fork-warmup
+     * and --isolate — the daemon owns execution and persistence.
+     */
+    std::string serve;
 };
 
 /** Build-tree default worker: catnap_sim relative to the bench binary
@@ -167,6 +178,8 @@ parse_options(int argc, char **argv)
             opts.point_timeout_ms = std::atoll(argv[++i]);
         } else if (a == "--point-retries" && has_value) {
             opts.point_retries = std::atoi(argv[++i]);
+        } else if (a == "--serve" && has_value) {
+            opts.serve = argv[++i];
         } else if (a == "--help" || a == "-h") {
             std::printf("usage: %s [--jobs N] [--csv FILE] "
                         "[--fork-warmup]\n"
@@ -189,7 +202,15 @@ parse_options(int argc, char **argv)
                         "             subprocess (crash containment, "
                         "quarantine, and with\n"
                         "             --journal/--resume kill-and-resume; "
-                        "DESIGN.md §15)\n",
+                        "DESIGN.md §15)\n"
+                        "  --serve SOCKET\n"
+                        "             resolve every point against the "
+                        "catnap_serve daemon\n"
+                        "             at SOCKET: cached points replay "
+                        "bit-identically from\n"
+                        "             its result cache, only novel points "
+                        "execute\n"
+                        "             (DESIGN.md §17)\n",
                         argv[0]);
             std::exit(0);
         } else {
@@ -202,6 +223,13 @@ parse_options(int argc, char **argv)
         std::fprintf(stderr, "%s: --isolate and --fork-warmup are "
                              "mutually exclusive (a warm in-process run "
                              "cannot cross the worker boundary)\n",
+                     argv[0]);
+        std::exit(2);
+    }
+    if (!opts.serve.empty() && (opts.isolate || opts.fork_warmup)) {
+        std::fprintf(stderr, "%s: --serve is mutually exclusive with "
+                             "--isolate and --fork-warmup (the daemon "
+                             "owns execution and persistence)\n",
                      argv[0]);
         std::exit(2);
     }
@@ -291,7 +319,32 @@ run_load_grid(const std::vector<MultiNocConfig> &configs,
             items.push_back(point(cfg, traffic, rp, load));
 
     std::vector<SyntheticResult> flat;
-    if (opts.isolate) {
+    if (!opts.serve.empty()) {
+        // Sweep-service backend (DESIGN.md §17): same items, same
+        // item-order results, bit-identical stdout — the daemon's cache
+        // replays the exact bytes a local run would produce, and the
+        // hit/miss summary goes to stderr so CSV/stdout diff clean
+        // against the serial run. Quarantine and an unreachable daemon
+        // are hard failures, mirroring the --isolate policy (exit 4)
+        // plus a distinct code for connection trouble (exit 5).
+        serve::ServeClientOptions copts;
+        copts.socket_path = opts.serve;
+        serve::ServedSweep sweep;
+        try {
+            sweep = serve::run_batch_served(items, copts);
+        } catch (const serve::ServeError &e) {
+            std::fprintf(stderr, "[serve] fatal: %s\n", e.what());
+            std::exit(5);
+        }
+        std::fprintf(stderr,
+                     "[serve] %zu hit(s), %zu executed, %zu quarantined\n",
+                     sweep.hits, sweep.misses, sweep.quarantined);
+        if (!sweep.ok()) {
+            std::fputs(sweep.quarantine_summary().c_str(), stderr);
+            std::exit(4);
+        }
+        flat = sweep.merged();
+    } else if (opts.isolate) {
         // Crash-isolated backend: same items, same item-order results,
         // bit-identical output; quarantine is a hard failure for a
         // reproduction harness (a figure must never silently lose

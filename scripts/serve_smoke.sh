@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Smoke drill for the sweep service (DESIGN.md §17): start catnap_serve,
+# run the Figure 10 sweep through it twice, and require
+#   - both passes' CSVs bit-for-bit identical to the serial in-process
+#     run;
+#   - the second (warm-cache) pass answered entirely from the cache:
+#     every point a hit, zero points executed;
+#   - a SIGKILLed daemon restarted on the same cache file rebuilds its
+#     index from the journal and serves the whole sweep as hits again —
+#     with the client riding its retry loop across the restart.
+# The daemon's stats JSON is left in $WORK for CI to upload.
+#
+# Usage: scripts/serve_smoke.sh [BUILD_DIR] [WORK_DIR]
+#   BUILD_DIR  default: build
+#   WORK_DIR   default: a fresh mktemp dir (removed on exit); pass one
+#              explicitly to keep stats.json as a CI artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+FIG10="$BUILD/bench/fig10_synthetic_sweep"
+SERVE="$BUILD/tools/catnap_serve"
+SIM="$BUILD/tools/catnap_sim"
+[ -x "$FIG10" ] && [ -x "$SERVE" ] && [ -x "$SIM" ] ||
+  { echo "error: build $FIG10, $SERVE and $SIM first" >&2; exit 2; }
+
+if [ -n "${2:-}" ]; then
+  WORK="$2"
+  KEEP_WORK=1
+  mkdir -p "$WORK"
+else
+  WORK="$(mktemp -d serve_smoke.XXXXXX)"
+  KEEP_WORK=0
+fi
+SOCK="$WORK/serve.sock"
+CACHE="$WORK/cache.bin"
+STATS="$WORK/stats.json"
+POINTS=36   # fig10: 4 configs x 9 loads
+
+DPID=0
+stop_daemon() {
+  [ "$DPID" -gt 0 ] && kill "$DPID" 2>/dev/null && wait "$DPID" 2>/dev/null
+  DPID=0
+  return 0
+}
+cleanup() { stop_daemon; [ "$KEEP_WORK" -eq 1 ] || rm -rf "$WORK"; }
+trap cleanup EXIT
+
+# Reads one counter out of the daemon's stats file.
+stat_of() { grep -o "\"$1\":[0-9]*" "$STATS" | head -n1 | cut -d: -f2; }
+
+echo "== leg 1: serial in-process baseline =="
+"$FIG10" --jobs 1 --csv "$WORK/serial.csv" > /dev/null
+
+echo "== leg 2: cold pass through the daemon =="
+"$SERVE" --socket "$SOCK" --cache "$CACHE" --stats-out "$STATS" \
+  --jobs 2 2> "$WORK/daemon1.log" &
+DPID=$!
+"$FIG10" --serve "$SOCK" --csv "$WORK/cold.csv" 2> "$WORK/cold.stderr"
+cmp "$WORK/serial.csv" "$WORK/cold.csv" ||
+  { echo "error: cold served CSV differs from serial baseline" >&2; exit 1; }
+grep -q "\[serve\] 0 hit(s), $POINTS executed" "$WORK/cold.stderr" ||
+  { echo "error: cold pass should execute all $POINTS points" >&2;
+    cat "$WORK/cold.stderr" >&2; exit 1; }
+
+echo "== leg 3: warm pass must be all hits, zero executed =="
+EXEC_BEFORE="$(stat_of executed)"
+"$FIG10" --serve "$SOCK" --csv "$WORK/warm.csv" 2> "$WORK/warm.stderr"
+cmp "$WORK/serial.csv" "$WORK/warm.csv" ||
+  { echo "error: warm served CSV differs from serial baseline" >&2; exit 1; }
+grep -q "\[serve\] $POINTS hit(s), 0 executed" "$WORK/warm.stderr" ||
+  { echo "error: warm pass was not answered entirely from the cache" >&2;
+    cat "$WORK/warm.stderr" >&2; exit 1; }
+EXEC_AFTER="$(stat_of executed)"
+[ "$EXEC_AFTER" -eq "$EXEC_BEFORE" ] ||
+  { echo "error: warm pass executed $((EXEC_AFTER - EXEC_BEFORE)) points" >&2
+    exit 1; }
+HITS="$(stat_of hits)"
+[ "$HITS" -ge "$POINTS" ] ||
+  { echo "error: expected >= $POINTS cache hits, stats says $HITS" >&2
+    exit 1; }
+echo "warm pass: $POINTS/$POINTS hits, 0 executed"
+
+echo "== leg 4: SIGKILL the daemon, restart, client rides the retry =="
+kill -KILL "$DPID"
+wait "$DPID" 2>/dev/null || true
+DPID=0
+rm -f "$SOCK"   # SIGKILL cannot unlink its own socket
+
+# The client starts first: it must retry until the restarted daemon
+# binds, then be answered entirely from the rebuilt cache.
+"$FIG10" --serve "$SOCK" --csv "$WORK/restart.csv" \
+  2> "$WORK/restart.stderr" &
+CPID=$!
+sleep 1
+"$SERVE" --socket "$SOCK" --cache "$CACHE" --stats-out "$STATS" \
+  --jobs 2 2> "$WORK/daemon2.log" &
+DPID=$!
+wait "$CPID" ||
+  { echo "error: client failed across the daemon restart" >&2;
+    cat "$WORK/restart.stderr" >&2; exit 1; }
+cmp "$WORK/serial.csv" "$WORK/restart.csv" ||
+  { echo "error: post-restart CSV differs from serial baseline" >&2; exit 1; }
+grep -q "\[serve\] $POINTS hit(s), 0 executed" "$WORK/restart.stderr" ||
+  { echo "error: restarted daemon did not serve the sweep from its " \
+         "rebuilt cache" >&2; cat "$WORK/restart.stderr" >&2; exit 1; }
+grep -q "$POINTS cached point(s) restored" "$WORK/daemon2.log" ||
+  { echo "error: restarted daemon did not restore $POINTS records" >&2;
+    cat "$WORK/daemon2.log" >&2; exit 1; }
+echo "restart: $POINTS records rebuilt, sweep served as hits"
+
+echo "== leg 5: stats endpoint answers over the socket =="
+"$SIM" --serve-stats "$SOCK" > "$WORK/stats_reply.json"
+grep -q '"restored_records":'"$POINTS" "$WORK/stats_reply.json" ||
+  { echo "error: --serve-stats reply missing restored_records" >&2;
+    cat "$WORK/stats_reply.json" >&2; exit 1; }
+
+stop_daemon
+echo "serve_smoke: all legs passed (stats in $STATS)"

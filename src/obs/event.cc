@@ -30,6 +30,9 @@ event_kind_name(EventKind k)
       case EventKind::kProcExit:        return "proc_exit";
       case EventKind::kProcRetry:       return "proc_retry";
       case EventKind::kProcQuarantine:  return "proc_quarantine";
+      case EventKind::kServeRequest:    return "serve_request";
+      case EventKind::kServeExec:       return "serve_exec";
+      case EventKind::kServeEvict:      return "serve_evict";
     }
     return "?";
 }

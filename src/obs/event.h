@@ -132,10 +132,29 @@ enum class EventKind : std::int8_t {
     /** A point exhausted its retry budget and was quarantined; the
      * rest of the sweep continues. [node=point index, a=attempts] */
     kProcQuarantine = 23,
+
+    /**
+     * Sweep service (serve/server.h): one sweep request was answered.
+     * Host-time semantics like kExecJob*: `cycle` is host microseconds
+     * since the daemon started. [node=points in the request, a=cache
+     * hits, b=misses executed for the requester]
+     */
+    kServeRequest = 24,
+
+    /** Sweep service: one executor job (an adaptively coalesced batch
+     * of cache misses) finished. [node=first point index in the
+     * request, a=points in the batch, b=0 ok / 1 some point
+     * quarantined; `cycle` is host microseconds] */
+    kServeExec = 25,
+
+    /** Sweep service: a cache insert pushed the result cache past its
+     * byte bound and evicted oldest-first. [a=entries evicted,
+     * b=entries still live; `cycle` is host microseconds] */
+    kServeEvict = 26,
 };
 
 /** Number of distinct event kinds. */
-inline constexpr int kNumEventKinds = 24;
+inline constexpr int kNumEventKinds = 27;
 
 /** Why a sleeping router was woken (kRouterWakeBegin payload `a`). */
 enum class WakeReason : std::int8_t {

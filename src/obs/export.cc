@@ -102,7 +102,10 @@ write_chrome_trace(std::ostream &os, const EventTrace &trace,
             ev.kind == EventKind::kProcSpawn ||
             ev.kind == EventKind::kProcExit ||
             ev.kind == EventKind::kProcRetry ||
-            ev.kind == EventKind::kProcQuarantine) {
+            ev.kind == EventKind::kProcQuarantine ||
+            ev.kind == EventKind::kServeRequest ||
+            ev.kind == EventKind::kServeExec ||
+            ev.kind == EventKind::kServeEvict) {
             // Host-time track: excluded from the cycle-domain maxima
             // (node holds a job index, not a router id).
             has_exec = true;
@@ -282,11 +285,23 @@ write_chrome_trace(std::ostream &os, const EventTrace &trace,
                        << ",\"s\":\"p\",\"args\":{\"attempts\":" << ev.a
                        << "}}";
             break;
+          case EventKind::kServeRequest:
+            // Sweep-service requests land on the exec host-time track;
+            // a=hits vs b=misses shows cache effectiveness over time.
+            arr.next() << "{\"name\":\"serve req " << ev.node
+                       << "pt\",\"cat\":\"serve\",\"ph\":\"i\",\"ts\":"
+                       << ev.cycle << ",\"pid\":" << kExecTrackPid
+                       << ",\"tid\":0,\"s\":\"t\",\"args\":{\"points\":"
+                       << ev.node << ",\"hits\":" << ev.a
+                       << ",\"misses\":" << ev.b << "}}";
+            break;
           case EventKind::kFlitEject:
           case EventKind::kSubnetSelect:
           case EventKind::kExecJobBegin:
           case EventKind::kProcSpawn:
           case EventKind::kProcRetry:
+          case EventKind::kServeExec:
+          case EventKind::kServeEvict:
             break; // JSONL-only detail; spans/counters cover the story
         }
     });

@@ -1,0 +1,123 @@
+#include "serve/frame.h"
+
+namespace catnap {
+namespace serve {
+
+std::vector<std::uint8_t>
+encode_frame(const std::string &payload)
+{
+    if (payload.size() > kMaxFramePayload) {
+        throw ServeError("frame: payload of " +
+                         std::to_string(payload.size()) +
+                         " bytes exceeds the " +
+                         std::to_string(kMaxFramePayload) + "-byte cap");
+    }
+    std::vector<std::uint8_t> out;
+    out.reserve(kFrameHeaderBytes + payload.size());
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        out.push_back(
+            static_cast<std::uint8_t>((kFrameMagic >> (8 * i)) & 0xffu));
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>((len >> (8 * i)) & 0xffu));
+    for (const char c : payload)
+        out.push_back(static_cast<std::uint8_t>(c));
+    return out;
+}
+
+FrameDecode
+decode_frame(const std::uint8_t *data, std::size_t size)
+{
+    FrameDecode out;
+    if (size < 4) {
+        out.status = FrameStatus::kNeedMore;
+        return out;
+    }
+    std::uint32_t magic = 0;
+    for (int i = 0; i < 4; ++i)
+        magic |= static_cast<std::uint32_t>(data[i]) << (8 * i);
+    if (magic != kFrameMagic) {
+        out.status = FrameStatus::kBad;
+        out.error = "frame: bad magic (not a catnap_serve frame)";
+        return out;
+    }
+    if (size < kFrameHeaderBytes) {
+        out.status = FrameStatus::kNeedMore;
+        return out;
+    }
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(data[4 + i]) << (8 * i);
+    if (len > kMaxFramePayload) {
+        out.status = FrameStatus::kBad;
+        out.error = "frame: declared payload of " + std::to_string(len) +
+                    " bytes exceeds the " +
+                    std::to_string(kMaxFramePayload) + "-byte cap";
+        return out;
+    }
+    if (size < kFrameHeaderBytes + len) {
+        out.status = FrameStatus::kNeedMore;
+        return out;
+    }
+    out.status = FrameStatus::kFrame;
+    out.payload.assign(
+        reinterpret_cast<const char *>(data + kFrameHeaderBytes), len);
+    out.consumed = kFrameHeaderBytes + len;
+    return out;
+}
+
+std::string
+to_hex(const std::vector<std::uint8_t> &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (const std::uint8_t b : bytes) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0x0fu]);
+    }
+    return out;
+}
+
+namespace {
+
+/** hex_digit() result for a non-hex character. */
+inline constexpr int kBadHexDigit = -1;
+
+int
+hex_digit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return kBadHexDigit;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+from_hex(const std::string &hex)
+{
+    if (hex.size() % 2 != 0) {
+        throw ServeError("hex: odd number of digits (" +
+                         std::to_string(hex.size()) + ")");
+    }
+    std::vector<std::uint8_t> out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = hex_digit(hex[i]);
+        const int lo = hex_digit(hex[i + 1]);
+        if (hi < 0 || lo < 0) {
+            throw ServeError("hex: invalid digit at offset " +
+                             std::to_string(hi < 0 ? i : i + 1));
+        }
+        out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+} // namespace serve
+} // namespace catnap

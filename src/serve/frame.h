@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Length-prefixed frame codec for the sweep service socket
+ * (DESIGN.md §17).
+ *
+ * Everything that crosses the catnap_serve Unix-domain socket is one
+ * frame per message, in either direction:
+ *
+ *   offset  size  field
+ *        0     4  frame magic    0x31465343 ("CSF1"), little-endian
+ *        4     4  payload length in bytes (hard cap kMaxFramePayload)
+ *        8     -  payload        UTF-8 JSON (serve/json.h grammar)
+ *
+ * The decoder is incremental and total: given any byte prefix it
+ * reports "need more bytes", "one complete frame (consumed N bytes)",
+ * or "unrecoverable framing error" — it never throws, never reads out
+ * of bounds, and never allocates from an unvalidated length (the cap is
+ * checked before the payload is touched). A framing error is terminal
+ * for the connection: once the magic or length field is wrong there is
+ * no way to resynchronise the stream, so the server replies with a
+ * precise error frame and closes.
+ *
+ * Binary payloads (sealed point-spec and result images, exec/
+ * point_codec.h) travel inside the JSON as lowercase hex strings;
+ * to_hex()/from_hex() are the shared codec for them.
+ */
+#ifndef CATNAP_SERVE_FRAME_H
+#define CATNAP_SERVE_FRAME_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/json.h"
+
+namespace catnap {
+namespace serve {
+
+/** Frame magic: "CSF1" read as a little-endian u32. */
+constexpr std::uint32_t kFrameMagic = 0x31465343u;
+
+/** Fixed bytes before each frame's payload. */
+constexpr std::size_t kFrameHeaderBytes = 4 + 4;
+
+/** Hard payload cap: rejects absurd lengths before allocating. */
+constexpr std::uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+/** Outcome of one incremental decode step. */
+enum class FrameStatus : std::int8_t {
+    kNeedMore = 0, ///< prefix of a valid frame; read more bytes
+    kFrame = 1,    ///< one complete frame decoded
+    kBad = 2,      ///< framing error; the stream cannot be resynced
+};
+
+/** One decoded frame (or the reason there isn't one). */
+struct FrameDecode
+{
+    FrameStatus status = FrameStatus::kNeedMore;
+    std::string payload;      ///< kFrame: the JSON text
+    std::size_t consumed = 0; ///< kFrame: bytes of the frame, else 0
+    std::string error;        ///< kBad: precise reason
+};
+
+/** Wraps @p payload in a sealed frame. Throws ServeError when the
+ * payload exceeds kMaxFramePayload. */
+std::vector<std::uint8_t> encode_frame(const std::string &payload);
+
+/**
+ * Attempts to decode one frame from the front of @p data. Total: every
+ * input yields kNeedMore, kFrame, or kBad — never a throw or an
+ * out-of-bounds read (see @file).
+ */
+FrameDecode decode_frame(const std::uint8_t *data, std::size_t size);
+
+inline FrameDecode
+decode_frame(const std::vector<std::uint8_t> &bytes)
+{
+    return decode_frame(bytes.data(), bytes.size());
+}
+
+/** Lowercase hex of @p bytes (two digits per byte). */
+std::string to_hex(const std::vector<std::uint8_t> &bytes);
+
+/** Inverse of to_hex(). Throws ServeError on odd length or a non-hex
+ * digit, naming the offending position. */
+std::vector<std::uint8_t> from_hex(const std::string &hex);
+
+} // namespace serve
+} // namespace catnap
+
+#endif // CATNAP_SERVE_FRAME_H

@@ -1,0 +1,334 @@
+#include "serve/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace catnap {
+namespace serve {
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::kObject)
+        return nullptr;
+    for (const auto &m : members) {
+        if (m.first == key)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+namespace {
+
+/** Cursor over the input text; all throws name the byte offset. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse_document()
+    {
+        JsonValue v = parse_value(0);
+        skip_ws();
+        if (pos_ != text_.size())
+            fail("trailing bytes after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw ServeError("json: " + why + " at offset " +
+                         std::to_string(pos_));
+    }
+
+    bool eof() const { return pos_ >= text_.size(); }
+
+    char
+    peek() const
+    {
+        if (eof())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char
+    take()
+    {
+        const char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void
+    skip_ws()
+    {
+        while (!eof()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    void
+    expect_literal(const char *lit)
+    {
+        for (const char *p = lit; *p != '\0'; ++p) {
+            if (eof() || text_[pos_] != *p)
+                fail(std::string("invalid literal (expected '") + lit +
+                     "')");
+            ++pos_;
+        }
+    }
+
+    /** One \uXXXX escape; returns the code unit. */
+    unsigned
+    parse_hex4()
+    {
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = take();
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("invalid \\u escape digit");
+        }
+        return v;
+    }
+
+    void
+    append_utf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80u) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800u) {
+            out.push_back(static_cast<char>(0xc0u | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80u | (cp & 0x3fu)));
+        } else if (cp < 0x10000u) {
+            out.push_back(static_cast<char>(0xe0u | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80u | ((cp >> 6) & 0x3fu)));
+            out.push_back(static_cast<char>(0x80u | (cp & 0x3fu)));
+        } else {
+            out.push_back(static_cast<char>(0xf0u | (cp >> 18)));
+            out.push_back(static_cast<char>(0x80u | ((cp >> 12) & 0x3fu)));
+            out.push_back(static_cast<char>(0x80u | ((cp >> 6) & 0x3fu)));
+            out.push_back(static_cast<char>(0x80u | (cp & 0x3fu)));
+        }
+    }
+
+    std::string
+    parse_string_body()
+    {
+        // Opening quote already consumed.
+        std::string out;
+        for (;;) {
+            const char c = take();
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20u)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            const char e = take();
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                unsigned cp = parse_hex4();
+                if (cp >= 0xd800u && cp <= 0xdbffu) {
+                    // High surrogate: require a low surrogate pair.
+                    if (eof() || take() != '\\' || eof() || take() != 'u')
+                        fail("unpaired UTF-16 high surrogate");
+                    const unsigned lo = parse_hex4();
+                    if (lo < 0xdc00u || lo > 0xdfffu)
+                        fail("invalid UTF-16 low surrogate");
+                    cp = 0x10000u + ((cp - 0xd800u) << 10) + (lo - 0xdc00u);
+                } else if (cp >= 0xdc00u && cp <= 0xdfffu) {
+                    fail("unpaired UTF-16 low surrogate");
+                }
+                append_utf8(out, cp);
+                break;
+              }
+              default:
+                fail("invalid escape character");
+            }
+        }
+    }
+
+    JsonValue
+    parse_number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (!eof()) {
+            const char c = text_[pos_];
+            if ((c >= '0' && c <= '9') || c == '.' || c == 'e' ||
+                c == 'E' || c == '+' || c == '-') {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        const std::string span = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        errno = 0;
+        const double v = std::strtod(span.c_str(), &end);
+        if (span.empty() || end != span.c_str() + span.size() ||
+            errno == ERANGE) {
+            pos_ = start;
+            fail("invalid number");
+        }
+        JsonValue out;
+        out.kind = JsonValue::Kind::kNumber;
+        out.number = v;
+        return out;
+    }
+
+    JsonValue
+    parse_value(int depth)
+    {
+        if (depth > kMaxJsonDepth)
+            fail("nesting depth exceeds " + std::to_string(kMaxJsonDepth));
+        skip_ws();
+        const char c = peek();
+        JsonValue out;
+        switch (c) {
+          case 'n':
+            expect_literal("null");
+            return out;
+          case 't':
+            expect_literal("true");
+            out.kind = JsonValue::Kind::kBool;
+            out.boolean = true;
+            return out;
+          case 'f':
+            expect_literal("false");
+            out.kind = JsonValue::Kind::kBool;
+            out.boolean = false;
+            return out;
+          case '"':
+            ++pos_;
+            out.kind = JsonValue::Kind::kString;
+            out.string = parse_string_body();
+            return out;
+          case '[': {
+            ++pos_;
+            out.kind = JsonValue::Kind::kArray;
+            skip_ws();
+            if (peek() == ']') {
+                ++pos_;
+                return out;
+            }
+            for (;;) {
+                out.items.push_back(parse_value(depth + 1));
+                skip_ws();
+                const char d = take();
+                if (d == ']')
+                    return out;
+                if (d != ',') {
+                    --pos_;
+                    fail("expected ',' or ']' in array");
+                }
+            }
+          }
+          case '{': {
+            ++pos_;
+            out.kind = JsonValue::Kind::kObject;
+            skip_ws();
+            if (peek() == '}') {
+                ++pos_;
+                return out;
+            }
+            for (;;) {
+                skip_ws();
+                if (take() != '"') {
+                    --pos_;
+                    fail("expected string key in object");
+                }
+                std::string key = parse_string_body();
+                skip_ws();
+                if (take() != ':') {
+                    --pos_;
+                    fail("expected ':' after object key");
+                }
+                out.members.emplace_back(std::move(key),
+                                         parse_value(depth + 1));
+                skip_ws();
+                const char d = take();
+                if (d == '}')
+                    return out;
+                if (d != ',') {
+                    --pos_;
+                    fail("expected ',' or '}' in object");
+                }
+            }
+          }
+          default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parse_number();
+            fail("unexpected character");
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parse_json(const std::string &text)
+{
+    Parser p(text);
+    return p.parse_document();
+}
+
+std::string
+json_quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (u < 0x20u) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", u);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+} // namespace serve
+} // namespace catnap

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal JSON for the sweep service wire protocol (DESIGN.md §17).
+ *
+ * The daemon speaks length-prefixed JSON frames over a local socket
+ * (serve/frame.h), so it needs a parser for the small request grammar —
+ * objects, arrays, strings, numbers, booleans, null — and nothing else:
+ * no DOM mutation, no streaming, no external dependency. The parser is
+ * a strict recursive-descent over UTF-8 text with a hard depth cap, and
+ * every rejection throws ServeError naming the byte offset, because the
+ * socket is a trust boundary: a malformed payload must produce a
+ * precise error reply, never a crash, a hang, or an unbounded
+ * allocation (the frame layer already caps payload size).
+ *
+ * Values parse into a plain tagged struct (JsonValue). Object members
+ * keep insertion order; duplicate keys keep the first occurrence on
+ * lookup, matching the common-denominator behaviour of permissive
+ * parsers. Responses are *built*, not serialized from JsonValue —
+ * json_quote() is the only writer-side helper the builders need.
+ */
+#ifndef CATNAP_SERVE_JSON_H
+#define CATNAP_SERVE_JSON_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace catnap {
+namespace serve {
+
+/** Raised on any malformed frame, JSON payload, or protocol request. */
+class ServeError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Maximum nesting depth parse_json() accepts before rejecting. */
+constexpr int kMaxJsonDepth = 64;
+
+/** One parsed JSON value (tagged union, plain members). */
+struct JsonValue
+{
+    enum class Kind : std::int8_t {
+        kNull = 0,
+        kBool = 1,
+        kNumber = 2,
+        kString = 3,
+        kArray = 4,
+        kObject = 5,
+    };
+
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;                                   ///< kString
+    std::vector<JsonValue> items;                         ///< kArray
+    std::vector<std::pair<std::string, JsonValue>> members; ///< kObject
+
+    bool is_object() const { return kind == Kind::kObject; }
+    bool is_array() const { return kind == Kind::kArray; }
+    bool is_string() const { return kind == Kind::kString; }
+    bool is_number() const { return kind == Kind::kNumber; }
+
+    /** First member named @p key, or null when absent / not an object. */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/**
+ * Parses exactly one JSON document from @p text (trailing garbage is an
+ * error). Throws ServeError with the byte offset on any malformed
+ * input; never reads out of bounds and never recurses past
+ * kMaxJsonDepth.
+ */
+JsonValue parse_json(const std::string &text);
+
+/** @p s as a quoted JSON string literal (control chars escaped). */
+std::string json_quote(const std::string &s);
+
+} // namespace serve
+} // namespace catnap
+
+#endif // CATNAP_SERVE_JSON_H

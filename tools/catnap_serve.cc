@@ -1,0 +1,300 @@
+/**
+ * @file
+ * catnap_serve: the sweep-serving daemon (DESIGN.md §17).
+ *
+ * Listens on a local Unix-domain socket for framed sweep requests,
+ * answers repeat points from a persistent content-addressed result
+ * cache, and executes the rest through the in-process execution engine
+ * (or crash-isolated catnap_sim workers with --isolate). Clients are
+ * the bench harnesses and catnap_sim --loads runs invoked with
+ * --serve SOCKET.
+ *
+ * Examples:
+ *   catnap_serve --socket /tmp/catnap.sock --cache sweep-cache.bin
+ *   catnap_serve --socket /tmp/catnap.sock --cache c.bin \
+ *       --cache-max-bytes 1048576 --jobs 4 --stats-out stats.json
+ *
+ * The daemon runs until SIGINT/SIGTERM or a client shutdown request,
+ * then tears down cleanly: in-flight requests finish, the stats file is
+ * rewritten, and the socket path is removed. SIGKILL is also safe — the
+ * cache file is an append-only CRC-checked journal that tolerates a
+ * torn tail, and the stats file is rewritten after every request.
+ */
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "obs/export.h"
+#include "obs/trace_buffer.h"
+#include "serve/server.h"
+
+using namespace catnap;
+
+namespace {
+
+// Exit codes mirror catnap_sim's first three rows.
+constexpr int kExitRuntime = 1;  ///< bind/cache/daemon error
+constexpr int kExitUsage = 2;    ///< unknown option or malformed CLI
+constexpr int kExitBadValue = 3; ///< syntactically valid flag, bad value
+
+/** Signal flag: SIGINT/SIGTERM ask the main loop to exit. */
+std::atomic<int> g_stop{0};
+
+void
+on_signal(int)
+{
+    g_stop.store(1);
+}
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "catnap_serve -- sweep-serving daemon with a persistent result "
+        "cache\n\n"
+        "  --socket PATH             Unix-domain socket to listen on "
+        "(required)\n"
+        "  --cache FILE              cache backing file (CRC-checked\n"
+        "                            journal; survives restarts and\n"
+        "                            SIGKILL; default: memory-only)\n"
+        "  --cache-max-bytes N       evict oldest entries past N bytes\n"
+        "                            (0 = unbounded)\n"
+        "  --jobs N                  worker threads for cache misses\n"
+        "                            (default: one per hardware thread)\n"
+        "  --batch-max N             coalesce up to N cheap points into\n"
+        "                            one executor job (default 4;\n"
+        "                            1 disables batching)\n"
+        "  --batch-load-max X        offered-load ceiling for a point to\n"
+        "                            count as cheap (default 0.15)\n"
+        "  --isolate                 execute misses in supervised\n"
+        "                            catnap_sim worker subprocesses\n"
+        "                            (crash containment, retry/backoff,\n"
+        "                            quarantine; DESIGN.md §15)\n"
+        "  --worker PATH             worker executable for --isolate\n"
+        "                            (default: catnap_sim next to this\n"
+        "                            binary)\n"
+        "  --scratch DIR             spec/result exchange directory for\n"
+        "                            --isolate (default "
+        ".catnap-serve-scratch)\n"
+        "  --point-timeout MS        per-attempt wall budget for\n"
+        "                            --isolate (0 = unlimited)\n"
+        "  --point-retries N         extra attempts before quarantine\n"
+        "                            for --isolate (default 2)\n"
+        "  --stats-out FILE          rewrite FILE with the stats JSON\n"
+        "                            after every request (SIGKILL-safe)\n"
+        "  --trace-out FILE          write serve.*/proc.* host-time\n"
+        "                            events as Chrome trace JSON at exit\n"
+        "  --trace-events N          event ring-buffer capacity\n"
+        "                            (default 1048576)\n"
+        "exit codes:\n"
+        "  0 clean shutdown          1 bind/cache/daemon error\n"
+        "  2 usage error             3 invalid configuration value\n");
+    std::exit(code);
+}
+
+const char *
+need_value(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        usage(kExitUsage);
+    }
+    return argv[++i];
+}
+
+[[noreturn]] void
+die_value(const char *flag, const std::string &value, const std::string &why)
+{
+    std::fprintf(stderr, "catnap_serve: invalid value '%s' for %s: %s\n",
+                 value.c_str(), flag, why.c_str());
+    std::exit(kExitBadValue);
+}
+
+/** Strict integer parse, same contract as catnap_sim's. */
+long long
+parse_int(const char *flag, const std::string &value, long long lo,
+          long long hi)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(value.c_str(), &end, 10);
+    if (value.empty() || *end != '\0' || end == value.c_str())
+        die_value(flag, value, "not an integer");
+    if (errno == ERANGE || v < lo || v > hi) {
+        die_value(flag, value, "must be in [" + std::to_string(lo) + ", " +
+                                   std::to_string(hi) + "]");
+    }
+    return v;
+}
+
+unsigned long long
+parse_uint(const char *flag, const std::string &value,
+           unsigned long long hi = ~0ull)
+{
+    if (!value.empty() && value[0] == '-')
+        die_value(flag, value, "must be non-negative");
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || *end != '\0' || end == value.c_str())
+        die_value(flag, value, "not an integer");
+    if (errno == ERANGE || v > hi)
+        die_value(flag, value, "must be at most " + std::to_string(hi));
+    return v;
+}
+
+double
+parse_real(const char *flag, const std::string &value, double lo, double hi)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(value.c_str(), &end);
+    if (value.empty() || *end != '\0' || end == value.c_str())
+        die_value(flag, value, "not a number");
+    if (!std::isfinite(v))
+        die_value(flag, value, "must be finite (NaN/inf rejected)");
+    char range[96];
+    std::snprintf(range, sizeof range, "must be in [%g, %g]", lo, hi);
+    if (errno == ERANGE || v < lo || v > hi)
+        die_value(flag, value, range);
+    return v;
+}
+
+/** Default --isolate worker: catnap_sim next to this binary. */
+std::string
+default_worker_path(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    std::string self;
+    if (n > 0) {
+        buf[n] = '\0';
+        self = buf;
+    } else {
+        self = argv0;
+    }
+    const std::size_t slash = self.rfind('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : self.substr(0, slash);
+    return dir + "/catnap_sim";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::ServeConfig cfg;
+    std::string trace_out;
+    std::size_t trace_capacity = EventTrace::kDefaultCapacity;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") usage(0);
+        else if (a == "--socket")
+            cfg.socket_path = need_value(argc, argv, i);
+        else if (a == "--cache")
+            cfg.cache.path = need_value(argc, argv, i);
+        else if (a == "--cache-max-bytes")
+            cfg.cache.max_bytes =
+                parse_uint(a.c_str(), need_value(argc, argv, i));
+        else if (a == "--jobs")
+            cfg.exec.jobs = static_cast<int>(
+                parse_int(a.c_str(), need_value(argc, argv, i), 0, 4096));
+        else if (a == "--batch-max")
+            cfg.exec.batch_max = static_cast<std::size_t>(
+                parse_int(a.c_str(), need_value(argc, argv, i), 1, 4096));
+        else if (a == "--batch-load-max")
+            cfg.exec.batch_load_max =
+                parse_real(a.c_str(), need_value(argc, argv, i), 0.0, 8.0);
+        else if (a == "--isolate")
+            cfg.exec.isolate = true;
+        else if (a == "--worker")
+            cfg.exec.worker = need_value(argc, argv, i);
+        else if (a == "--scratch")
+            cfg.exec.scratch = need_value(argc, argv, i);
+        else if (a == "--point-timeout")
+            cfg.exec.timeout_ms = static_cast<std::int64_t>(parse_uint(
+                a.c_str(), need_value(argc, argv, i), 86400000ull));
+        else if (a == "--point-retries")
+            cfg.exec.max_retries = static_cast<int>(
+                parse_int(a.c_str(), need_value(argc, argv, i), 0, 100));
+        else if (a == "--stats-out")
+            cfg.stats_path = need_value(argc, argv, i);
+        else if (a == "--trace-out")
+            trace_out = need_value(argc, argv, i);
+        else if (a == "--trace-events")
+            trace_capacity = static_cast<std::size_t>(parse_int(
+                a.c_str(), need_value(argc, argv, i), 1, 1ll << 32));
+        else {
+            std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+            usage(kExitUsage);
+        }
+    }
+    if (cfg.socket_path.empty()) {
+        std::fprintf(stderr, "--socket PATH is required\n");
+        usage(kExitUsage);
+    }
+    if (cfg.exec.isolate && cfg.exec.worker.empty())
+        cfg.exec.worker = default_worker_path(argv[0]);
+
+    std::unique_ptr<EventTrace> trace;
+    if (!trace_out.empty()) {
+        trace = std::make_unique<EventTrace>(trace_capacity);
+        cfg.sink = trace.get();
+    }
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    // A client that disappears mid-reply must not SIGPIPE the daemon
+    // (sends also pass MSG_NOSIGNAL; this covers any stray write).
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::unique_ptr<serve::ServeServer> server;
+    try {
+        server = std::make_unique<serve::ServeServer>(cfg);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "catnap_serve: %s\n", e.what());
+        return kExitRuntime;
+    }
+
+    const serve::ServeStats boot = server->stats();
+    std::fprintf(stderr,
+                 "catnap_serve: listening on %s (%llu cached point(s) "
+                 "restored, %llu torn byte(s) discarded)\n",
+                 cfg.socket_path.c_str(),
+                 static_cast<unsigned long long>(boot.cache_entries),
+                 static_cast<unsigned long long>(
+                     boot.restored_discarded_bytes));
+    server->start();
+
+    while (g_stop.load() == 0 && !server->shutdown_requested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    server->stop();
+    const serve::ServeStats final_stats = server->stats();
+    std::fprintf(stderr, "catnap_serve: exiting; stats %s\n",
+                 final_stats.to_json().c_str());
+    server.reset();
+
+    if (trace) {
+        TraceExportMeta meta;
+        meta.num_subnets = 1;
+        meta.num_nodes = 1;
+        save_chrome_trace(trace_out, *trace, meta);
+        std::fprintf(stderr, "catnap_serve: wrote %s (%llu event(s))\n",
+                     trace_out.c_str(),
+                     static_cast<unsigned long long>(trace->recorded()));
+    }
+    return 0;
+}

@@ -27,6 +27,7 @@
 #include "obs/export.h"
 #include "obs/snapshot.h"
 #include "obs/trace_buffer.h"
+#include "serve/client.h"
 #include "sim/report.h"
 #include "sim/simulator.h"
 
@@ -40,6 +41,8 @@ constexpr int kExitRuntime = 1;    ///< simulation / checkpoint error
 constexpr int kExitUsage = 2;      ///< unknown option or malformed CLI
 constexpr int kExitBadValue = 3;   ///< syntactically valid flag, invalid value
 constexpr int kExitQuarantine = 4; ///< isolated sweep left quarantined points
+constexpr int kExitServe = 5;      ///< sweep-service daemon unreachable /
+                                   ///< protocol error
 
 [[noreturn]] void
 usage(int code)
@@ -133,10 +136,20 @@ usage(int code)
         "  --worker-spec F --worker-out F\n"
         "                            (internal) worker mode: run the one\n"
         "                            point sealed in F, write the result\n"
+        "sweep service (synthetic --loads mode; DESIGN.md §17):\n"
+        "  --serve SOCKET            resolve the sweep against a running\n"
+        "                            catnap_serve daemon: cached points\n"
+        "                            replay from its result cache, the\n"
+        "                            rest execute daemon-side. stdout is\n"
+        "                            bit-identical to the local sweep;\n"
+        "                            the hit/miss summary goes to stderr\n"
+        "  --serve-stats SOCKET      print the daemon's statistics JSON\n"
+        "                            and exit (no sweep)\n"
         "exit codes:\n"
         "  0 success                 1 simulation/runtime error\n"
         "  2 usage error             3 invalid configuration value\n"
-        "  4 sweep finished with quarantined point(s)\n");
+        "  4 sweep finished with quarantined point(s)\n"
+        "  5 sweep-service daemon unreachable or protocol error\n");
     std::exit(code);
 }
 
@@ -439,6 +452,8 @@ main(int argc, char **argv)
     int point_retries = 2;
     std::string worker_spec;
     std::string worker_out;
+    std::string serve_socket;
+    std::string serve_stats_socket;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -536,6 +551,10 @@ main(int argc, char **argv)
             worker_spec = need_value(argc, argv, i);
         else if (a == "--worker-out")
             worker_out = need_value(argc, argv, i);
+        else if (a == "--serve")
+            serve_socket = need_value(argc, argv, i);
+        else if (a == "--serve-stats")
+            serve_stats_socket = need_value(argc, argv, i);
         else if (a == "--fault-kill-router") {
             const auto f =
                 parse_fields(a.c_str(), need_value(argc, argv, i), 3);
@@ -598,6 +617,21 @@ main(int argc, char **argv)
         }
     }
 
+    // Stats query mode short-circuits everything else: talk to the
+    // daemon, print its counters, done.
+    if (!serve_stats_socket.empty()) {
+        try {
+            serve::ServeClientOptions copts;
+            copts.socket_path = serve_stats_socket;
+            copts.attempts = 1;
+            std::printf("%s\n", serve::fetch_stats(copts).to_json().c_str());
+            return 0;
+        } catch (const serve::ServeError &e) {
+            std::fprintf(stderr, "catnap_sim: %s\n", e.what());
+            return kExitServe;
+        }
+    }
+
     // Worker mode short-circuits everything else: the spec file is the
     // whole configuration (see run_worker above).
     if (!worker_spec.empty() || !worker_out.empty()) {
@@ -628,6 +662,19 @@ main(int argc, char **argv)
                              "sweeps\n");
         usage(kExitUsage);
     }
+    if (!serve_socket.empty()) {
+        if (mode != "synthetic" || sweep_loads.empty()) {
+            std::fprintf(stderr, "--serve applies to synthetic --loads "
+                                 "sweeps\n");
+            usage(kExitUsage);
+        }
+        if (isolate || !journal_path.empty()) {
+            std::fprintf(stderr, "--serve and --isolate/--journal are "
+                                 "mutually exclusive (the daemon owns "
+                                 "execution and persistence)\n");
+            usage(kExitUsage);
+        }
+    }
     cfg.congestion.threshold =
         threshold >= 0.0
             ? threshold
@@ -649,7 +696,41 @@ main(int argc, char **argv)
             usage(2);
         }
         std::vector<SyntheticResult> rows;
-        if (isolate) {
+        if (!serve_socket.empty()) {
+            // Sweep-service backend: the daemon answers cached points
+            // from its result cache and executes only the rest. stdout
+            // stays bit-identical to the local sweep (the summary goes
+            // to stderr, unlike --isolate's stdout status line, so a
+            // warm-cache run diffs clean against the serial run).
+            std::vector<RunItem> items;
+            items.reserve(sweep_loads.size());
+            for (const double load : sweep_loads) {
+                RunItem item;
+                item.cfg = cfg;
+                item.traffic = traffic;
+                item.traffic.load = load;
+                item.params = rp;
+                items.push_back(std::move(item));
+            }
+            serve::ServeClientOptions copts;
+            copts.socket_path = serve_socket;
+            serve::ServedSweep sweep;
+            try {
+                sweep = serve::run_batch_served(items, copts);
+            } catch (const serve::ServeError &e) {
+                std::fprintf(stderr, "catnap_sim: %s\n", e.what());
+                return kExitServe;
+            }
+            std::fprintf(stderr,
+                         "[serve] %zu hit(s), %zu executed, %zu "
+                         "quarantined\n",
+                         sweep.hits, sweep.misses, sweep.quarantined);
+            if (!sweep.ok()) {
+                std::fputs(sweep.quarantine_summary().c_str(), stderr);
+                return kExitQuarantine;
+            }
+            rows = sweep.merged();
+        } else if (isolate) {
             // Crash-isolated backend: one supervised worker subprocess
             // per point, journalled and resumable; merged rows are
             // bit-identical to the in-process sweep below.
